@@ -1,0 +1,156 @@
+"""Benches for the extensions beyond the paper's evaluation.
+
+- strong scaling of a fixed 1024^3 problem (the paper only runs weak
+  scaling) — including the superlinear cache-fit regime;
+- metadata query pushdown: range query wall-clock with and without
+  min/max block pruning;
+- streaming (SST) step throughput vs. file-based (BP5) coupling.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from conftest import print_block
+
+from repro.mpi.strongscaling import StrongScalingModel
+
+
+class TestStrongScaling:
+    def test_strong_scaling_curve(self, benchmark):
+        model = StrongScalingModel()
+        points = benchmark.pedantic(
+            model.run, args=([1, 8, 64, 512, 4096],), rounds=3, iterations=1
+        )
+        base = points[0]
+        assert points[1].efficiency_vs(base) > 1.2  # cache-fit superlinear
+        assert points[-1].efficiency_vs(base) < 0.6  # comm-dominated
+        print_block("Extension: strong scaling (modeled)", model.render(points))
+
+    def test_gpu_aware_strong_scaling(self):
+        host = StrongScalingModel().run_point(4096)
+        aware = StrongScalingModel(gpu_aware=True).run_point(4096)
+        speedup = host.step_seconds / aware.step_seconds
+        assert speedup > 1.1
+        print_block(
+            "Extension: GPU-aware MPI at 4,096 ranks (strong scaling)",
+            f"host-staged: {host.step_seconds*1e3:.3f} ms/step "
+            f"({host.comm_fraction*100:.0f}% comm)\n"
+            f"GPU-aware  : {aware.step_seconds*1e3:.3f} ms/step "
+            f"({aware.comm_fraction*100:.0f}% comm)  -> {speedup:.2f}x",
+        )
+
+
+class TestQueryPushdown:
+    @pytest.fixture(scope="class")
+    def dataset(self, tmp_path_factory):
+        from repro.adios.api import Adios
+        from repro.mpi.executor import run_spmd
+
+        tmp = tmp_path_factory.mktemp("query")
+        path = tmp / "q.bp"
+        n = 12
+        shape = (n, n, n * 8)
+
+        def worker(comm):
+            adios = Adios()
+            io = adios.declare_io("q")
+            u = io.define_variable(
+                "U", np.float64, shape=shape,
+                start=(0, 0, n * comm.rank), count=(n, n, n),
+            )
+            block = np.asfortranarray(
+                comm.rank + np.random.default_rng(comm.rank).random((n, n, n))
+            )
+            with io.open(str(path), "w", comm=comm) as engine:
+                engine.begin_step()
+                engine.put(u, block)
+                engine.end_step()
+            return True
+
+        run_spmd(worker, 8, timeout=60)
+        return path
+
+    def test_pruned_query(self, benchmark, dataset):
+        from repro.adios.engines import BP5Reader
+        from repro.adios.query import RangeQuery, read_matching
+
+        reader = BP5Reader(None, dataset)
+        result = benchmark(read_matching, reader, "U", 0, RangeQuery(lo=7.0))
+        assert result.pruned_fraction == pytest.approx(7 / 8)
+
+    def test_full_scan_baseline(self, benchmark, dataset):
+        """The no-pushdown baseline: read everything, mask in memory."""
+        from repro.adios.engines import BP5Reader
+
+        reader = BP5Reader(None, dataset)
+
+        def full_scan():
+            data = reader.read("U", step=0)
+            return data[data >= 7.0]
+
+        values = benchmark(full_scan)
+        assert values.min() >= 7.0
+
+
+class TestStreamingVsFile:
+    N_STEPS = 8
+    SHAPE = (24, 24, 24)
+
+    def test_sst_stream_throughput(self, benchmark):
+        from repro.adios.api import Adios
+        from repro.adios.sst import OK, SstBroker, SSTReader
+
+        counter = iter(range(10**6))
+
+        def roundtrip():
+            SstBroker.reset()
+            name = f"bench-{next(counter)}"
+
+            def produce():
+                io = Adios().declare_io("p")
+                io.set_engine("SST")
+                u = io.define_variable(
+                    "U", np.float64, shape=self.SHAPE, count=self.SHAPE
+                )
+                data = np.zeros(self.SHAPE, order="F")
+                with io.open(name, "w") as writer:
+                    for _ in range(self.N_STEPS):
+                        writer.begin_step()
+                        writer.put(u, data)
+                        writer.end_step()
+
+            thread = threading.Thread(target=produce, daemon=True)
+            thread.start()
+            reader = SSTReader(None, name)
+            steps = 0
+            while reader.begin_step(timeout=30) == OK:
+                reader.get("U")
+                reader.end_step()
+                steps += 1
+            thread.join(10)
+            return steps
+
+        assert benchmark.pedantic(roundtrip, rounds=3, iterations=1) == self.N_STEPS
+
+    def test_bp5_file_throughput(self, benchmark, tmp_path):
+        from repro.adios.api import Adios
+
+        counter = iter(range(10**6))
+
+        def roundtrip():
+            path = tmp_path / f"f{next(counter)}.bp"
+            io = Adios().declare_io(f"io{next(counter)}")
+            u = io.define_variable("U", np.float64, shape=self.SHAPE, count=self.SHAPE)
+            data = np.zeros(self.SHAPE, order="F")
+            with io.open(path, "w") as writer:
+                for _ in range(self.N_STEPS):
+                    writer.begin_step()
+                    writer.put(u, data)
+                    writer.end_step()
+            reader = io.open(path, "r")
+            for s in range(self.N_STEPS):
+                reader.read("U", step=s)
+            return self.N_STEPS
+
+        assert benchmark.pedantic(roundtrip, rounds=3, iterations=1) == self.N_STEPS

@@ -1,0 +1,13 @@
+"""Figure 5: rocprof trace of kernels and memory transfers."""
+
+from conftest import print_block
+
+from repro.bench import fig5
+
+
+def test_fig5_trace(benchmark):
+    result = benchmark.pedantic(
+        fig5.run, kwargs=dict(L=20, steps=4), rounds=3, iterations=1
+    )
+    assert all(fig5.shape_checks(result).values())
+    print_block("Figure 5 (simulated rocprof trace)", fig5.render(result))

@@ -1,0 +1,48 @@
+"""Figure 6: weak scaling with per-process wall-clock variability.
+
+Frontier scale (1 -> 4,096 GPUs) via the calibrated network model, plus
+a real mini-scale SPMD weak scaling of the full solver on the thread
+substrate.
+"""
+
+import pytest
+from conftest import print_block
+
+from repro.bench import fig6
+
+
+@pytest.fixture(scope="module")
+def frontier_points():
+    points = fig6.run_frontier()
+    print_block("Figure 6 (Frontier scale, modeled)", fig6.render_frontier(points))
+    return points
+
+
+def test_fig6_frontier_model(benchmark, frontier_points):
+    points = benchmark.pedantic(fig6.run_frontier, rounds=3, iterations=1)
+    assert all(fig6.shape_checks(points).values())
+
+
+def test_fig6_variability_bands(frontier_points):
+    by_ranks = {p.nranks: p for p in frontier_points}
+    assert by_ranks[512].variability < 0.05
+    assert 0.08 < by_ranks[4096].variability < 0.20
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+def test_fig6_mini_real_spmd(benchmark, nranks):
+    """Real solver, real threads: constant local work per rank."""
+    points = benchmark.pedantic(
+        fig6.run_mini,
+        kwargs=dict(local_cells=10, steps=3, ranks=(nranks,)),
+        rounds=3,
+        iterations=1,
+    )
+    assert points[0].nranks == nranks
+    assert points[0].max_seconds > 0
+
+
+def test_fig6_mini_summary():
+    points = fig6.run_mini(local_cells=10, steps=3)
+    print_block("Figure 6 (mini, real SPMD)", fig6.render_mini(points))
+    assert len(points) == 4

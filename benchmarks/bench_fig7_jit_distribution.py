@@ -1,0 +1,32 @@
+"""Figure 7: JIT vs optimized bandwidth distributions on 4,096 GPUs."""
+
+import pytest
+from conftest import print_block
+
+from repro.bench import fig7
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = fig7.run()
+    print_block("Figure 7 (modeled distributions)", fig7.render(res))
+    return res
+
+
+def test_fig7_distributions(benchmark, result):
+    fresh = benchmark(fig7.run)
+    assert all(fig7.shape_checks(fresh).values())
+
+
+def test_fig7_jit_cost_factor(result):
+    assert result.jit_cost_factor == pytest.approx(12.5, rel=0.25)
+    assert result.jit_fraction == pytest.approx(0.08, abs=0.04)
+
+
+@pytest.mark.parametrize("steps", [5, 20, 100])
+def test_fig7_amortization_sweep(benchmark, steps):
+    """The JIT cost amortizes with window length (paper Section 5.2)."""
+    res = benchmark(fig7.run, steps=steps)
+    assert res.jit_fraction < 1.0
+    if steps == 100:
+        assert res.jit_fraction > 0.2  # mostly amortized by 100 steps

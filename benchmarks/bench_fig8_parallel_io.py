@@ -1,0 +1,42 @@
+"""Figure 8: parallel I/O weak scaling (write times + bandwidth)."""
+
+import pytest
+from conftest import print_block
+
+from repro.bench import fig8
+from repro.util.units import GB
+
+
+@pytest.fixture(scope="module")
+def frontier_points():
+    points = fig8.run_frontier()
+    print_block("Figure 8 (Frontier scale, modeled)", fig8.render_frontier(points))
+    return points
+
+
+def test_fig8_frontier_model(benchmark, frontier_points):
+    points = benchmark.pedantic(fig8.run_frontier, rounds=3, iterations=1)
+    assert all(fig8.shape_checks(points).values())
+
+
+def test_fig8_peak_near_paper(frontier_points):
+    best = max(p.write_bandwidth for p in frontier_points)
+    assert best == pytest.approx(434 * GB, rel=0.1)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_fig8_mini_real_bp5_writes(benchmark, nranks):
+    """Real parallel BP5 writes through the engine, wall-clock timed."""
+    points = benchmark.pedantic(
+        fig8.run_mini,
+        kwargs=dict(local_cells=12, ranks=(nranks,)),
+        rounds=3,
+        iterations=1,
+    )
+    assert points[0].write_bandwidth > 0
+
+
+def test_fig8_mini_summary():
+    points = fig8.run_mini(local_cells=12)
+    print_block("Figure 8 (mini, real BP5 writes)", fig8.render_mini(points))
+    assert len(points) == 4

@@ -1,0 +1,13 @@
+"""Listing 1: the bpls provenance record of a Gray-Scott dataset."""
+
+from conftest import print_block
+
+from repro.bench import listings
+
+
+def test_listing1_provenance(benchmark):
+    result = benchmark.pedantic(
+        listings.run_listing1, kwargs=dict(L=12, steps=8), rounds=3, iterations=1
+    )
+    assert all(listings.listing1_shape_checks(result).values())
+    print_block("Listing 1 (bpls provenance record)", result.listing)

@@ -1,0 +1,14 @@
+"""Listing 4: kernel IR — 14 unique loads, 2 stores."""
+
+from conftest import print_block
+
+from repro.bench import listings
+
+
+def test_listing4_kernel_ir(benchmark):
+    result = benchmark(listings.run_listing4)
+    assert all(listings.listing4_shape_checks(result).values())
+    loads = "\n".join(
+        line for line in result.ir.splitlines() if "load double" in line or "store double" in line
+    )
+    print_block("Listing 4 (kernel memory ops in traced IR)", loads)

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the BP5 engine: write, read, selection."""
+
+import numpy as np
+import pytest
+
+from repro.adios.api import Adios
+
+
+def _write_dataset(path, shape=(32, 32, 32), steps=2):
+    io = Adios().declare_io("bench")
+    u = io.define_variable("U", np.float64, shape=shape, count=shape)
+    data = np.zeros(shape, order="F")
+    with io.open(path, "w") as engine:
+        for s in range(steps):
+            engine.begin_step()
+            engine.put(u, data + s)
+            engine.end_step()
+    return io
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_bp5_write_throughput(benchmark, tmp_path, n):
+    counter = iter(range(10**6))
+
+    def run():
+        _write_dataset(tmp_path / f"w{next(counter)}.bp", shape=(n, n, n), steps=1)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["bytes_per_step"] = n**3 * 8
+
+
+def test_bp5_read_full(benchmark, tmp_path):
+    path = tmp_path / "r.bp"
+    io = _write_dataset(path, shape=(48, 48, 48))
+    reader = io.open(path, "r")
+    result = benchmark(reader.read, "U", step=1)
+    assert result.shape == (48, 48, 48)
+
+
+def test_bp5_read_thin_slice_cheaper_than_full(tmp_path):
+    """Box selection only touches intersecting bytes."""
+    import time
+
+    path = tmp_path / "slice.bp"
+    io = _write_dataset(path, shape=(64, 64, 64))
+    reader = io.open(path, "r")
+    t0 = time.perf_counter()
+    full = reader.read("U", step=0)
+    t_full = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    plane = reader.read("U", step=0, start=(0, 0, 32), count=(64, 64, 1))
+    t_plane = time.perf_counter() - t0
+    assert plane.shape == (64, 64, 1)
+    assert full.shape == (64, 64, 64)
+    # a single-block dataset still reads the block; the point is the
+    # API works and does not blow up -- multi-block savings measured next
+    assert t_plane <= t_full * 5
+
+
+def test_bp5_selection_skips_nonintersecting_blocks(benchmark, tmp_path):
+    """With many blocks, a thin selection reads only a few of them."""
+    from repro.mpi.executor import run_spmd
+
+    path = tmp_path / "blocks.bp"
+    nranks = 8
+    n = 16
+    shape = (n, n, n * nranks)
+
+    def worker(comm):
+        adios = Adios()
+        io = adios.declare_io("blocks")
+        u = io.define_variable(
+            "U", np.float64, shape=shape,
+            start=(0, 0, n * comm.rank), count=(n, n, n),
+        )
+        with io.open(str(path), "w", comm=comm) as engine:
+            engine.begin_step()
+            engine.put(u, np.full((n, n, n), float(comm.rank), order="F"))
+            engine.end_step()
+        return True
+
+    run_spmd(worker, nranks, timeout=60)
+    reader = Adios().declare_io("read").open(path, "r")
+
+    result = benchmark(
+        reader.read, "U", step=0, start=(0, 0, 0), count=(n, n, n)
+    )
+    assert (result == 0.0).all()
+
+
+def test_bpls_listing(benchmark, tmp_path):
+    from repro.adios.bpls import bpls
+
+    path = tmp_path / "ls.bp"
+    _write_dataset(path)
+    text = benchmark(bpls, path)
+    assert "U" in text

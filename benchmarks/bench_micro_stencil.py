@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the real Python stencil implementations.
+
+Not a paper figure: these measure this machine's throughput of the
+vectorized CPU path (cells/s) and the cost ratio against the scalar
+reference — the reproduction's own performance story.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import GrayScottParams
+from repro.core.stencil import step_reference, step_vectorized
+
+
+def _fields(n):
+    shape = (n + 2, n + 2, n + 2)
+    rng = np.random.default_rng(0)
+    u = np.asfortranarray(rng.random(shape))
+    v = np.asfortranarray(rng.random(shape))
+    return u, v, np.zeros(shape, order="F"), np.zeros(shape, order="F")
+
+
+@pytest.mark.parametrize("n", [16, 32, 64, 96])
+def test_step_vectorized_throughput(benchmark, n):
+    u, v, un, vn = _fields(n)
+    p = GrayScottParams()
+
+    def run():
+        step_vectorized(u, v, un, vn, p, seed=1, step=0)
+
+    benchmark(run)
+    benchmark.extra_info["cells"] = n**3
+
+
+def test_step_vectorized_no_noise_faster(benchmark):
+    """noise=0 skips the RNG field — the CPU analog of Table 2's
+    random-vs-no-random gap."""
+    u, v, un, vn = _fields(48)
+    p = GrayScottParams(noise=0.0)
+
+    def run():
+        step_vectorized(u, v, un, vn, p, seed=1, step=0)
+
+    benchmark(run)
+
+
+def test_step_reference_small(benchmark):
+    """The scalar ground truth (tiny grid: it is O(N^3) Python)."""
+    u, v, un, vn = _fields(8)
+    p = GrayScottParams()
+
+    def run():
+        step_reference(u, v, un, vn, p, seed=1, step=0)
+
+    benchmark(run)
+
+
+def test_noise_field_generation(benchmark):
+    from repro.gpu.rand import uniform_field
+
+    benchmark(uniform_field, 1, 0, (64, 64, 64), (0, 0, 0))

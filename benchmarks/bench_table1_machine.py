@@ -1,0 +1,11 @@
+"""Table 1: Frontier hardware and software summary."""
+
+from conftest import print_block
+
+from repro.bench import table1
+
+
+def test_table1_machine_summary(benchmark):
+    machine = benchmark(table1.run)
+    assert all(table1.shape_checks(machine).values())
+    print_block("Table 1 (machine model)", table1.render(machine))

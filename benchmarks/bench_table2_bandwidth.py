@@ -1,0 +1,37 @@
+"""Table 2: average bandwidth of stencil implementations on one GCD.
+
+Regenerates the effective/total bandwidth comparison of the Julia
+application kernel, the Julia no-random kernel, and the HIP kernel at
+the paper's 1024^3 per-GCD size (Eqs. 4-5 + the TCC traffic model).
+"""
+
+import pytest
+from conftest import print_block
+
+from repro.bench import table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    result = table2.run()
+    print_block("Table 2 (modeled vs paper)", table2.render(result))
+    return result
+
+
+def test_table2_regeneration(benchmark, rows):
+    fresh = benchmark(table2.run)
+    assert all(table2.shape_checks(fresh).values())
+
+
+def test_table2_julia_half_of_hip(rows):
+    by_key = {r.key: r for r in rows}
+    ratio = by_key["julia_1var_norand"].total_gb_s / by_key["hip_1var"].total_gb_s
+    assert 0.35 < ratio < 0.65  # "nearly 50% performance difference"
+
+
+@pytest.mark.parametrize("size", [128, 256, 512, 1024])
+def test_table2_size_sweep(benchmark, size):
+    """Parameter sweep: the Julia/HIP gap holds across problem sizes."""
+    rows = benchmark(table2.run, (size, size, size))
+    by_key = {r.key: r for r in rows}
+    assert by_key["julia_1var_norand"].total_gb_s < by_key["hip_1var"].total_gb_s

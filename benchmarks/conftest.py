@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every ``bench_*`` file regenerates one table or figure of the paper
+(printing the paper-format block once per session) and times the
+regeneration under pytest-benchmark. ``bench_micro_*`` files measure
+the real Python implementation (stencil, exchange, BP5 I/O) on this
+machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""An interactive-analysis session, as in the paper's Figure 9.
+
+The paper closes its workflow loop in JupyterHub: read the ADIOS2
+dataset the Frontier job wrote, slice it, plot it. This script is that
+notebook as a terminal session: it produces a dataset if none is given,
+then walks the analysis — inventory, provenance, per-step statistics,
+time evolution of the min/max, slices of multiple steps.
+
+Usage::
+
+    python examples/analysis_session.py [dataset.bp]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import GrayScottSettings, Workflow
+from repro.adios.bpls import bpls
+from repro.analysis.reader import GrayScottDataset
+from repro.analysis.render import ascii_heatmap
+
+
+def make_dataset() -> str:
+    outdir = Path(tempfile.mkdtemp(prefix="analysis-"))
+    settings = GrayScottSettings(
+        L=40, steps=800, plotgap=200, noise=0.005,
+        output=str(outdir / "gs.bp"),
+    )
+    print(f"(no dataset given; running {settings.steps} steps first)")
+    Workflow(settings).run(analyze=False)
+    return settings.output
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else make_dataset()
+
+    ds = GrayScottDataset(path)
+    print(f"\n# dataset inventory: {path}")
+    print(f"global shape {ds.shape}, {len(ds.steps)} output steps "
+          f"(simulation steps {ds.sim_steps()})")
+
+    print("\n# provenance (bpls)")
+    print(bpls(path))
+
+    print("\n# global min/max from block metadata (no bulk data read)")
+    for field in ("U", "V"):
+        lo, hi = ds.minmax(field)
+        print(f"  {field}: {lo:.6g} .. {hi:.6g}")
+
+    print("\n# per-step statistics")
+    print(f"{'out step':>8} {'sim step':>8} {'V mean':>10} {'V max':>10} "
+          f"{'active cells':>13}")
+    for out_step, sim_step in zip(ds.steps, ds.sim_steps()):
+        stats = ds.summary(step=out_step)["V"]
+        print(f"{out_step:8d} {sim_step:8d} {stats['mean']:10.5f} "
+              f"{stats['max']:10.5f} {stats['active_cells']:13d}")
+
+    print("\n# V centre slice over time")
+    lo, hi = ds.minmax("V")
+    for out_step in (ds.steps[0], ds.steps[len(ds.steps) // 2], ds.steps[-1]):
+        plane = ds.slice2d("V", step=out_step, axis=2)
+        print()
+        print(ascii_heatmap(
+            plane, width=56, value_range=(lo, hi),
+            title=f"V at output step {out_step}",
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's full Frontier evaluation campaign.
+
+Regenerates every table and figure of the evaluation section in one go
+(see DESIGN.md's per-experiment index), printing each in the paper's
+format with the paper's measured values alongside:
+
+- Table 1: machine summary
+- Table 2: single-GCD stencil bandwidths
+- Table 3: rocprof counters
+- Figure 5: kernel/copy trace
+- Figure 6: weak scaling to 4,096 GPUs (+ a real mini-scale SPMD run)
+- Figure 7: JIT vs optimized bandwidth distributions
+- Figure 8: parallel I/O weak scaling (+ real mini-scale BP5 writes)
+- Listings 1 and 4
+
+Usage::
+
+    python examples/frontier_campaign.py [--quick]
+"""
+
+import sys
+
+from repro.bench import fig5, fig6, fig7, fig8, listings, table1, table2, table3
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+
+    banner("Table 1: Frontier characteristics")
+    print(table1.render(table1.run()))
+
+    banner("Table 2: stencil bandwidths on one MI250x GCD")
+    print(table2.render(table2.run()))
+
+    banner("Table 3: rocprof counters")
+    print(table3.render(table3.run()))
+
+    banner("Figure 5: simulated rocprof trace")
+    print(fig5.render(fig5.run(L=20, steps=4)))
+
+    banner("Figure 6: weak scaling (modeled Frontier scale)")
+    points6 = fig6.run_frontier()
+    print(fig6.render_frontier(points6))
+    if not quick:
+        banner("Figure 6 (mini): real SPMD weak scaling on this machine")
+        print(fig6.render_mini(fig6.run_mini(local_cells=10, steps=4)))
+
+    banner("Figure 7: JIT vs optimized bandwidth distributions")
+    print(fig7.render(fig7.run(ngpus=1024 if quick else 4096)))
+
+    banner("Figure 8: parallel I/O weak scaling (modeled Frontier scale)")
+    print(fig8.render_frontier(fig8.run_frontier()))
+    if not quick:
+        banner("Figure 8 (mini): real BP5 writes on this machine")
+        print(fig8.render_mini(fig8.run_mini(local_cells=12)))
+
+    banner("Listing 1: dataset provenance record")
+    print(listings.run_listing1(L=16, steps=20).listing)
+
+    banner("Listing 4: traced kernel IR (14 unique loads, 2 stores)")
+    print(listings.run_listing4().ir)
+
+    # exit non-zero if any paper shape check fails
+    all_checks = {}
+    all_checks.update(table2.shape_checks(table2.run()))
+    all_checks.update(table3.shape_checks(table3.run()))
+    all_checks.update(fig6.shape_checks(points6))
+    all_checks.update(fig7.shape_checks(fig7.run()))
+    all_checks.update(fig8.shape_checks(fig8.run_frontier()))
+    failed = [name for name, ok in all_checks.items() if not ok]
+    banner(f"shape checks: {len(all_checks) - len(failed)}/{len(all_checks)} passed")
+    for name in failed:
+        print(f"  FAILED: {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Streaming workflow: simulation -> live analysis, no file system.
+
+The paper's future work (Section 5.3, reference [34]): replace
+file-based coupling with an in-memory streaming pipeline. Here the
+Gray-Scott simulation publishes steps through the SST-like engine while
+a concurrent analysis consumer renders and classifies each step as it
+arrives — the same workflow as `quickstart.py`, minus the disk.
+
+Usage::
+
+    python examples/streaming_pipeline.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro import GrayScottSettings, Simulation
+from repro.adios.api import Adios
+from repro.adios.sst import OK, SSTReader
+from repro.analysis.render import ascii_heatmap
+from repro.analysis.stats import classify_pattern
+
+STREAM = "gs-live"
+
+
+def producer(settings: GrayScottSettings) -> None:
+    """Run the solver, publishing every plotgap-th step to the stream."""
+    sim = Simulation(settings)
+    adios = Adios()
+    io = adios.declare_io("producer")
+    io.set_engine("SST")
+    shape = settings.shape
+    u = io.define_variable("U", sim.dtype, shape=shape, count=shape)
+    v = io.define_variable("V", sim.dtype, shape=shape, count=shape)
+    step_var = io.define_variable("step", np.int32)
+    for name, value in sim.params.as_attributes().items():
+        io.define_attribute(name, value)
+
+    with io.open(STREAM, "w") as writer:
+        for _ in range(settings.steps // settings.plotgap):
+            sim.run(settings.plotgap)
+            writer.begin_step()
+            writer.put(u, np.asfortranarray(sim.interior("u")))
+            writer.put(v, np.asfortranarray(sim.interior("v")))
+            writer.put(step_var, np.int32(sim.step_count))
+            writer.end_step()
+    print("[producer] simulation finished, stream closed")
+
+
+def consumer() -> None:
+    """Analyze steps as they arrive (the 'Jupyter kernel' side)."""
+    reader = SSTReader(None, STREAM, connect_timeout=30)
+    while reader.begin_step(timeout=60) == OK:
+        sim_step = reader.get_scalar("step")
+        center = reader.available_variables()["V"][2] // 2
+        plane = reader.get(
+            "V",
+            start=(0, 0, center),
+            count=(*reader.available_variables()["V"][:2], 1),
+        )[:, :, 0]
+        label = classify_pattern(plane)
+        print(f"\n[consumer] received simulation step {sim_step} "
+              f"(pattern: {label})")
+        print(ascii_heatmap(plane, width=48, title=f"V at step {sim_step}"))
+        reader.end_step()
+    print("[consumer] end of stream")
+
+
+def main() -> int:
+    settings = GrayScottSettings(L=36, steps=600, plotgap=150, noise=0.005)
+    produce = threading.Thread(target=producer, args=(settings,), daemon=True)
+    produce.start()
+    consumer()
+    produce.join(60)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""An ADIOS2-workalike parallel I/O library with a BP5-style format.
+
+The paper writes its Gray-Scott output "using the ADIOS2 library via
+the Julia ADIOS2.jl bindings" (Section 4): global 3D array variables
+assembled from per-rank blocks, step-based writing, provenance
+attributes, per-block min/max statistics, and the BP5 engine's
+one-subfile-per-node aggregation (Section 5.3). This package implements
+that stack:
+
+- :mod:`repro.adios.api` — ``Adios -> IO -> Engine`` object model;
+- :mod:`repro.adios.variable` — variables (global arrays, scalars),
+  attributes, block metadata;
+- :mod:`repro.adios.bp5` — the on-disk format: binary data subfiles +
+  a JSON metadata index with per-block offsets, min/max and CRCs;
+- :mod:`repro.adios.engines` — ``BP5Writer`` (parallel, aggregating
+  over our MPI substrate) and ``BP5Reader`` (steps, box selection,
+  per-block access);
+- :mod:`repro.adios.bpls` — the dataset lister reproducing the paper's
+  Listing 1 provenance record;
+- :mod:`repro.adios.fsmodel` — the Lustre Orion performance model used
+  for Figure 8's Frontier-scale write bandwidths.
+
+Divergence from real BP5, by design: the metadata index is JSON rather
+than binary (documented in DESIGN.md) — the *structure* (subfiles,
+blocks, steps, stats) is faithful; the serialization is not the object
+of study.
+"""
+
+from repro.adios.api import Adios, IO
+from repro.adios.variable import Variable, Attribute, BlockInfo
+from repro.adios.engines import BP5Writer, BP5Reader
+from repro.adios.bpls import bpls
+
+__all__ = [
+    "Adios",
+    "IO",
+    "Variable",
+    "Attribute",
+    "BlockInfo",
+    "BP5Writer",
+    "BP5Reader",
+    "bpls",
+]

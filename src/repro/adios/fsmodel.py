@@ -1,0 +1,126 @@
+"""Lustre Orion performance model (Figure 8).
+
+The paper's parallel I/O experiment writes one output step of each
+weak-scaling case (two 1024^3 float64 fields per GCD, 8 GCDs per node
+-> ~137 GB per node-subfile) and observes "fairly flat" write times
+with aggregate bandwidth growing to 434 GB/s at 512 nodes — 8% of the
+file system's 5.5 TB/s peak while using 5% of the machine.
+
+Model: each node's aggregator streams its subfile at a sustained
+per-node bandwidth, derated by a slowly growing contention factor (OSS
+sharing and metadata pressure), plus a fixed metadata/open cost and
+lognormal jitter ("real-time file system usage"). The aggregate is
+capped by the file system peak. Constants live in
+:mod:`repro.bench.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench import calibration as cal
+from repro.cluster.frontier import FRONTIER, MachineSpec
+from repro.util.rngs import RngStream
+
+
+def contention_efficiency(nnodes: int) -> float:
+    """Per-node derating factor as the job's writer count grows."""
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    return 1.0 / (1.0 + cal.LUSTRE_CONTENTION_COEF * math.log2(max(nnodes, 1) or 1))
+
+
+class LustreModel:
+    """Write-time model for BP5-style one-subfile-per-node output."""
+
+    def __init__(self, machine: MachineSpec = FRONTIER, *, seed: int = 2023):
+        self.machine = machine
+        self.stream = RngStream(seed, ("lustre",))
+
+    def node_write_bandwidth(self, nnodes: int) -> float:
+        """Sustained bytes/s one aggregator gets in an ``nnodes`` job."""
+        return cal.LUSTRE_NODE_WRITE_BW_BYTES_PER_S * contention_efficiency(nnodes)
+
+    def aggregate_write_bandwidth(self, nnodes: int) -> float:
+        """Job-level write bandwidth, capped at the file system peak."""
+        return min(
+            nnodes * self.node_write_bandwidth(nnodes),
+            self.machine.filesystem.peak_write_bytes_per_s,
+        )
+
+    def write_seconds_per_node(
+        self, nnodes: int, bytes_per_node: float, *, sample: int | str = 0
+    ) -> float:
+        """Wall-clock of one node's subfile write, with jitter.
+
+        ``sample`` keys the deterministic jitter draw (e.g. node id).
+        """
+        if bytes_per_node < 0:
+            raise ValueError("bytes_per_node must be non-negative")
+        gen = self.stream.generator("write", nnodes, sample)
+        jitter = float(np.exp(gen.normal(0.0, cal.LUSTRE_WRITE_SIGMA)))
+        base = bytes_per_node / self.node_write_bandwidth(nnodes)
+        return cal.LUSTRE_METADATA_SECONDS + base * jitter
+
+    def job_write_seconds(self, nnodes: int, bytes_per_node: float) -> float:
+        """Slowest node's write time (the job waits on all subfiles)."""
+        times = [
+            self.write_seconds_per_node(nnodes, bytes_per_node, sample=node)
+            for node in range(nnodes)
+        ]
+        return max(times)
+
+
+@dataclass(frozen=True)
+class IoScalingPoint:
+    """One Figure-8 x-value: an (nnodes, bytes_per_node) write."""
+
+    nnodes: int
+    nranks: int
+    bytes_per_node: float
+    write_seconds: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.nnodes * self.bytes_per_node
+
+    @property
+    def write_bandwidth(self) -> float:
+        return self.total_bytes / self.write_seconds
+
+
+class IoWeakScalingModel:
+    """Reproduces Figure 8: write wall-clock + bandwidth vs. job size."""
+
+    def __init__(
+        self,
+        *,
+        local_shape: tuple[int, int, int] = (1024, 1024, 1024),
+        nvars: int = 2,
+        itemsize: int = 8,
+        ranks_per_node: int = 8,
+        machine: MachineSpec = FRONTIER,
+        seed: int = 2023,
+    ):
+        self.machine = machine
+        self.ranks_per_node = ranks_per_node
+        self.bytes_per_rank = int(np.prod(local_shape)) * nvars * itemsize
+        self.model = LustreModel(machine, seed=seed)
+
+    def run_point(self, nranks: int) -> IoScalingPoint:
+        nnodes = -(-nranks // self.ranks_per_node)
+        ranks_on_full_node = min(nranks, self.ranks_per_node)
+        bytes_per_node = self.bytes_per_rank * ranks_on_full_node
+        seconds = self.model.job_write_seconds(nnodes, bytes_per_node)
+        return IoScalingPoint(
+            nnodes=nnodes,
+            nranks=nranks,
+            bytes_per_node=bytes_per_node,
+            write_seconds=seconds,
+        )
+
+    def run(self, nranks_list=(1, 8, 64, 512, 4096)) -> list[IoScalingPoint]:
+        return [self.run_point(n) for n in nranks_list]

@@ -1,0 +1,78 @@
+"""Compression operators for BP5 blocks (ADIOS2 "operators").
+
+ADIOS2 lets a variable carry an operator chain (zlib, blosc, zfp, ...)
+applied per block at write time and inverted at read time, with the
+codec recorded in the block metadata. We implement the lossless zlib
+codec; the registry keeps the mechanism open for more.
+
+The paper itself writes uncompressed (default BP5), so operators are an
+extension — but a load-bearing one for workflows that, like Gray-Scott,
+produce smooth fields that compress 3-10x.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+from repro.util.errors import AdiosError, CorruptFileError
+
+
+class OperatorError(AdiosError):
+    """Unknown codec or invalid operator parameters."""
+
+
+def _zlib_compress(payload: bytes, params: dict) -> bytes:
+    return zlib.compress(payload, level=int(params.get("level", 6)))
+
+
+def _zlib_decompress(payload: bytes, params: dict, raw_nbytes: int) -> bytes:
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise CorruptFileError(f"zlib stream corrupt: {exc}") from exc
+    if len(raw) != raw_nbytes:
+        raise CorruptFileError(
+            f"decompressed block is {len(raw)} B, metadata says {raw_nbytes} B"
+        )
+    return raw
+
+
+def _zlib_validate(params: dict) -> None:
+    level = params.get("level", 6)
+    if not isinstance(level, int) or not 1 <= level <= 9:
+        raise OperatorError(f"zlib level must be an int in 1..9, got {level!r}")
+    unknown = set(params) - {"level"}
+    if unknown:
+        raise OperatorError(f"unknown zlib parameters: {sorted(unknown)}")
+
+
+_CODECS: dict[str, tuple[Callable, Callable, Callable]] = {
+    "zlib": (_zlib_compress, _zlib_decompress, _zlib_validate),
+}
+
+
+def validate_operation(codec: str, params: dict) -> tuple[str, dict]:
+    try:
+        _, _, validate = _CODECS[codec]
+    except KeyError:
+        raise OperatorError(
+            f"unknown codec {codec!r}; available: {sorted(_CODECS)}"
+        ) from None
+    validate(params)
+    return codec, dict(params)
+
+
+def compress(codec: str, params: dict, payload: bytes) -> bytes:
+    compressor, _, _ = _CODECS[codec]
+    return compressor(payload, params)
+
+
+def decompress(codec: str, params: dict, payload: bytes, raw_nbytes: int) -> bytes:
+    try:
+        _, decompressor, _ = _CODECS[codec]
+    except KeyError:
+        raise CorruptFileError(
+            f"block written with unknown codec {codec!r}"
+        ) from None
+    return decompressor(payload, params, raw_nbytes)

@@ -1,0 +1,109 @@
+"""Metadata query pushdown over BP5 block statistics.
+
+Every BP5 block carries its min/max (Listing 1's ``Min/Max`` column
+comes from them). A range query therefore never needs to read blocks
+whose [min, max] interval cannot intersect the predicate — the classic
+ADIOS2 query-engine optimization. :func:`query_blocks` does the
+metadata-only pruning; :func:`read_matching` reads only the surviving
+blocks and returns their cells above/below the bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adios.engines import BP5Reader
+from repro.adios.variable import BlockInfo
+from repro.util.errors import VariableError
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """value in [lo, hi] (either bound may be None = unbounded)."""
+
+    lo: float | None = None
+    hi: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo is None and self.hi is None:
+            raise VariableError("range query needs at least one bound")
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise VariableError(f"empty range: [{self.lo}, {self.hi}]")
+
+    def block_may_match(self, block: BlockInfo) -> bool:
+        """Can any cell of this block satisfy the predicate?"""
+        if self.lo is not None and block.vmax < self.lo:
+            return False
+        if self.hi is not None and block.vmin > self.hi:
+            return False
+        return True
+
+    def mask(self, data: np.ndarray) -> np.ndarray:
+        mask = np.ones(data.shape, dtype=bool)
+        if self.lo is not None:
+            mask &= data >= self.lo
+        if self.hi is not None:
+            mask &= data <= self.hi
+        return mask
+
+
+@dataclass
+class QueryResult:
+    """Matching cells: global coordinates + values + pruning stats."""
+
+    coords: np.ndarray  # (n, ndim) global indices
+    values: np.ndarray  # (n,)
+    blocks_total: int
+    blocks_read: int
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.blocks_total == 0:
+            return 0.0
+        return 1.0 - self.blocks_read / self.blocks_total
+
+
+def query_blocks(
+    reader: BP5Reader, var: str, step: int, query: RangeQuery
+) -> tuple[list[BlockInfo], int]:
+    """(blocks that may match, total blocks) — metadata only."""
+    blocks = reader.blocks(var, step)
+    if not blocks:
+        raise VariableError(f"{var!r} has no blocks at step {step}")
+    return [b for b in blocks if query.block_may_match(b)], len(blocks)
+
+
+def read_matching(
+    reader: BP5Reader, var: str, step: int, query: RangeQuery
+) -> QueryResult:
+    """Evaluate a range query, reading only non-prunable blocks."""
+    from repro.adios import bp5
+
+    candidates, total = query_blocks(reader, var, step, query)
+    entry = reader.variables()[var]
+    dtype = np.dtype(entry.dtype)
+    all_coords = []
+    all_values = []
+    for block in candidates:
+        data = bp5.read_block(reader.path, block, dtype, verify=reader.verify)
+        mask = query.mask(data)
+        local = np.argwhere(mask)
+        if local.size:
+            all_coords.append(local + np.asarray(block.start))
+            all_values.append(data[mask])
+    if all_coords:
+        coords = np.concatenate(all_coords)
+        values = np.concatenate(all_values)
+        order = np.lexsort(coords.T[::-1])
+        coords, values = coords[order], values[order]
+    else:
+        coords = np.empty((0, len(entry.shape)), dtype=np.int64)
+        values = np.empty(0, dtype=dtype)
+    return QueryResult(
+        coords=coords,
+        values=values,
+        blocks_total=total,
+        blocks_read=len(candidates),
+    )

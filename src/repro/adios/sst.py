@@ -1,0 +1,327 @@
+"""In-memory streaming engine (the paper's stated future work).
+
+The paper's conclusion points at "in-memory streaming data pipelines"
+(Poeschel et al., reference [34]) as the next step beyond file-based
+coupling: the analysis consumes simulation steps while the simulation
+runs, without touching the parallel file system. This module is that
+engine, modeled on ADIOS2's SST:
+
+- a process-global :class:`SstBroker` plays the role of SST's
+  rendezvous: writers register a stream by name, readers connect to it;
+- each writer rank pushes one packet per step; the reader's
+  ``begin_step`` gathers the packets of all writer ranks for the next
+  step (and can assemble any box selection from their blocks);
+- a bounded queue provides backpressure: a fast producer blocks once
+  ``queue_limit`` steps are in flight, SST's ``QueueLimit`` semantics;
+- ``close`` propagates end-of-stream; a reader's ``begin_step`` then
+  returns :data:`END_OF_STREAM`.
+
+Functionally real (used by ``examples/streaming_pipeline.py`` and the
+streaming tests); there is no performance model here — streaming was
+future work in the paper, so there are no numbers to calibrate against.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.util.errors import AdiosError, EngineStateError, VariableError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adios.api import IO
+    from repro.mpi.comm import Comm
+
+#: begin_step statuses (mirrors adios2.StepStatus)
+OK = "OK"
+END_OF_STREAM = "EndOfStream"
+TIMEOUT = "Timeout"
+
+
+class StreamError(AdiosError):
+    """Stream rendezvous or protocol failure."""
+
+
+@dataclass
+class _BlockPacket:
+    var: str
+    dtype: str
+    shape: tuple[int, ...]
+    start: tuple[int, ...]
+    count: tuple[int, ...]
+    data: np.ndarray | None  # None for scalars
+    value: object = None
+
+
+@dataclass
+class _StepPacket:
+    writer_rank: int
+    step: int
+    blocks: list[_BlockPacket]
+    attributes: dict
+    eos: bool = False
+
+
+class _Stream:
+    """One named stream: per-writer-rank bounded queues."""
+
+    def __init__(self, name: str, writer_size: int, queue_limit: int):
+        self.name = name
+        self.writer_size = writer_size
+        self.queues = [queue.Queue(maxsize=queue_limit) for _ in range(writer_size)]
+
+
+class SstBroker:
+    """Process-global stream registry (the SST rendezvous point)."""
+
+    _lock = threading.Lock()
+    _streams: dict[str, _Stream] = {}
+    _waiters = threading.Condition(_lock)
+
+    @classmethod
+    def open_stream(cls, name: str, writer_size: int, queue_limit: int) -> _Stream:
+        with cls._waiters:
+            if name in cls._streams:
+                raise StreamError(f"stream {name!r} is already being written")
+            stream = _Stream(name, writer_size, queue_limit)
+            cls._streams[name] = stream
+            cls._waiters.notify_all()
+            return stream
+
+    @classmethod
+    def connect(cls, name: str, *, timeout: float = 10.0) -> _Stream:
+        with cls._waiters:
+            if name not in cls._streams:
+                cls._waiters.wait_for(lambda: name in cls._streams, timeout=timeout)
+            try:
+                return cls._streams[name]
+            except KeyError:
+                raise StreamError(
+                    f"no writer opened stream {name!r} within {timeout}s"
+                ) from None
+
+    @classmethod
+    def release(cls, name: str) -> None:
+        with cls._waiters:
+            cls._streams.pop(name, None)
+
+    @classmethod
+    def reset(cls) -> None:
+        """Drop all streams (test isolation)."""
+        with cls._waiters:
+            cls._streams.clear()
+
+
+class SSTWriter:
+    """Step-streaming producer (one instance per writer rank)."""
+
+    def __init__(
+        self,
+        io: "IO",
+        name: str,
+        *,
+        comm: "Comm | None" = None,
+        queue_limit: int = 4,
+    ):
+        self.io = io
+        self.name = str(name)
+        self.comm = comm
+        self.rank = comm.rank if comm else 0
+        self.size = comm.size if comm else 1
+        if self.rank == 0:
+            self._stream = SstBroker.open_stream(self.name, self.size, queue_limit)
+        if comm is not None:
+            comm.barrier()  # stream exists before any rank proceeds
+        if self.rank != 0:
+            self._stream = SstBroker.connect(self.name)
+        self._in_step = False
+        self._closed = False
+        self._step = -1
+        self._deferred: list[_BlockPacket] = []
+
+    def begin_step(self) -> int:
+        if self._closed:
+            raise EngineStateError("begin_step on a closed SST writer")
+        if self._in_step:
+            raise EngineStateError("begin_step while a step is already open")
+        self._in_step = True
+        self._step += 1
+        self._deferred.clear()
+        return self._step
+
+    def put(self, variable, data) -> None:
+        if not self._in_step:
+            raise EngineStateError("put outside begin_step/end_step")
+        if isinstance(variable, str):
+            variable = self.io.inquire_variable(variable)
+        arr = variable.validate_data(data)
+        if variable.is_scalar:
+            self._deferred.append(
+                _BlockPacket(
+                    var=variable.name, dtype=variable.dtype.name, shape=(),
+                    start=(), count=(), data=None, value=arr.item(),
+                )
+            )
+        else:
+            self._deferred.append(
+                _BlockPacket(
+                    var=variable.name,
+                    dtype=variable.dtype.name,
+                    shape=variable.shape,
+                    start=variable.start,
+                    count=variable.count,
+                    data=np.array(arr, copy=True, order="F"),
+                )
+            )
+
+    def end_step(self) -> None:
+        if not self._in_step:
+            raise EngineStateError("end_step without begin_step")
+        packet = _StepPacket(
+            writer_rank=self.rank,
+            step=self._step,
+            blocks=list(self._deferred),
+            attributes={a.name: a.value for a in self.io.attributes.values()},
+        )
+        self._stream.queues[self.rank].put(packet)  # blocks on backpressure
+        self._in_step = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._in_step:
+            raise EngineStateError("close() inside an open step")
+        self._stream.queues[self.rank].put(
+            _StepPacket(self.rank, self._step + 1, [], {}, eos=True)
+        )
+        self._closed = True
+
+    def __enter__(self) -> "SSTWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True
+
+
+class SSTReader:
+    """Step-streaming consumer (serial, like the paper's analysis side)."""
+
+    def __init__(self, io: "IO | None", name: str, *, connect_timeout: float = 10.0):
+        self.io = io
+        self.name = str(name)
+        self._stream = SstBroker.connect(self.name, timeout=connect_timeout)
+        self._current: list[_StepPacket] | None = None
+        self._eos = False
+        self.current_step = -1
+        self.attributes: dict = {}
+
+    def begin_step(self, *, timeout: float = 30.0) -> str:
+        """Gather the next step from every writer rank.
+
+        Returns OK, END_OF_STREAM, or TIMEOUT (adios2.StepStatus style).
+        """
+        if self._eos:
+            return END_OF_STREAM
+        if self._current is not None:
+            raise EngineStateError("begin_step while a step is already open")
+        packets = []
+        for rank_queue in self._stream.queues:
+            try:
+                packets.append(rank_queue.get(timeout=timeout))
+            except queue.Empty:
+                return TIMEOUT
+        if any(p.eos for p in packets):
+            self._eos = True
+            SstBroker.release(self.name)
+            return END_OF_STREAM
+        steps = {p.step for p in packets}
+        if len(steps) != 1:
+            raise StreamError(f"writer ranks diverged: steps {sorted(steps)}")
+        self._current = packets
+        self.current_step = steps.pop()
+        for p in packets:
+            self.attributes.update(p.attributes)
+        return OK
+
+    def _require_step(self) -> list[_StepPacket]:
+        if self._current is None:
+            raise EngineStateError("get outside begin_step/end_step")
+        return self._current
+
+    def available_variables(self) -> dict[str, tuple[int, ...]]:
+        """{name: global shape} of the variables in the current step."""
+        out: dict[str, tuple[int, ...]] = {}
+        for packet in self._require_step():
+            for block in packet.blocks:
+                out[block.var] = block.shape
+        return out
+
+    def get(
+        self,
+        var: str,
+        *,
+        start: tuple[int, ...] | None = None,
+        count: tuple[int, ...] | None = None,
+    ) -> np.ndarray:
+        """Assemble a box selection of the current step's global array."""
+        blocks = [
+            b for p in self._require_step() for b in p.blocks if b.var == var
+        ]
+        if not blocks:
+            raise VariableError(f"variable {var!r} not in the current step")
+        shape = blocks[0].shape
+        if not shape:
+            raise VariableError(f"{var!r} is a scalar; use get_scalar()")
+        start = tuple(start) if start is not None else (0,) * len(shape)
+        count = tuple(count) if count is not None else shape
+        dtype = np.dtype(blocks[0].dtype)
+        out = np.zeros(count, dtype=dtype, order="F")
+        for block in blocks:
+            lo, extent = [], []
+            disjoint = False
+            for bs, bc, ss, sc in zip(block.start, block.count, start, count):
+                a, b = max(bs, ss), min(bs + bc, ss + sc)
+                if a >= b:
+                    disjoint = True
+                    break
+                lo.append(a)
+                extent.append(b - a)
+            if disjoint:
+                continue
+            src = tuple(
+                slice(a - bs, a - bs + e)
+                for a, bs, e in zip(lo, block.start, extent)
+            )
+            dst = tuple(
+                slice(a - ss, a - ss + e) for a, ss, e in zip(lo, start, extent)
+            )
+            out[dst] = block.data[src]
+        return out
+
+    def get_scalar(self, var: str):
+        for packet in self._require_step():
+            for block in packet.blocks:
+                if block.var == var and not block.shape:
+                    return block.value
+        raise VariableError(f"scalar {var!r} not in the current step")
+
+    def end_step(self) -> None:
+        if self._current is None:
+            raise EngineStateError("end_step without begin_step")
+        self._current = None
+
+    def close(self) -> None:
+        self._eos = True
+
+    def __enter__(self) -> "SSTReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

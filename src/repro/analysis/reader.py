@@ -1,0 +1,85 @@
+"""High-level dataset access for analysis sessions.
+
+Wraps :class:`~repro.adios.engines.BP5Reader` with the vocabulary an
+analyst uses in a notebook: steps, fields, slices, summaries — the
+operations of the paper's Figure 9 JupyterHub session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adios.engines import BP5Reader
+from repro.analysis.slices import slice_at
+from repro.analysis.stats import field_summary
+from repro.util.errors import VariableError
+
+
+class GrayScottDataset:
+    """One Gray-Scott output dataset (a ``.bp`` directory)."""
+
+    FIELDS = ("U", "V")
+
+    def __init__(self, path, *, verify: bool = True):
+        self.reader = BP5Reader(None, path, verify=verify)
+        missing = [f for f in self.FIELDS if f not in self.reader.variables()]
+        if missing:
+            raise VariableError(
+                f"{path}: not a Gray-Scott dataset (missing {missing})"
+            )
+
+    # -- inventory ---------------------------------------------------------
+    @property
+    def steps(self) -> list[int]:
+        return self.reader.steps("U")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.reader.variables()["U"].shape
+
+    @property
+    def attributes(self) -> dict:
+        return {name: a.value for name, a in self.reader.attributes.items()}
+
+    def sim_steps(self) -> list[int]:
+        """Simulation step numbers of each output step (the `step` var)."""
+        return [int(s) for s in self.reader.scalar_series("step")]
+
+    # -- data ---------------------------------------------------------------
+    def field(self, name: str, step: int | None = None, **selection) -> np.ndarray:
+        if name not in self.FIELDS:
+            raise VariableError(f"field must be one of {self.FIELDS}, got {name!r}")
+        if step is None:
+            step = self.steps[-1]
+        return self.reader.read(name, step=step, **selection)
+
+    def slice2d(
+        self, name: str, *, step: int | None = None, axis: int = 2,
+        index: int | None = None,
+    ) -> np.ndarray:
+        """A 2D slice, read via a thin box selection (no full-3D load)."""
+        shape = self.shape
+        if index is None:
+            index = shape[axis] // 2
+        start = [0, 0, 0]
+        count = list(shape)
+        start[axis] = index
+        count[axis] = 1
+        data = self.field(name, step=step, start=tuple(start), count=tuple(count))
+        return slice_at(data, axis=axis, index=0)
+
+    def minmax(self, name: str) -> tuple[float, float]:
+        """Global min/max over all steps from block metadata (no data read)."""
+        return self.reader.minmax(name)
+
+    def summary(self, step: int | None = None) -> dict:
+        """Per-field statistics at one output step."""
+        if step is None:
+            step = self.steps[-1]
+        return {
+            name: field_summary(self.field(name, step=step))
+            for name in self.FIELDS
+        }
+
+    def close(self) -> None:
+        self.reader.close()

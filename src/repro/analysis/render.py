@@ -1,0 +1,59 @@
+"""Terminal rendering of 2D slices (our stand-in for Makie heatmaps).
+
+The paper's Figure 9 shows Makie.jl heatmaps of U/V centre slices in
+JupyterHub; in a terminal-first reproduction the equivalent artifact is
+a density-ramp ASCII heatmap plus a value scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+#: dark -> bright density ramp
+RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    plane: np.ndarray,
+    *,
+    width: int = 64,
+    value_range: tuple[float, float] | None = None,
+    title: str = "",
+) -> str:
+    """Render a 2D array as an ASCII heatmap of at most ``width`` columns.
+
+    The plane is block-averaged down to the target resolution (terminal
+    cells are ~2x taller than wide, so rows are halved).
+    """
+    if plane.ndim != 2:
+        raise ReproError(f"ascii_heatmap expects a 2D plane, got {plane.shape}")
+    if width < 2:
+        raise ReproError("width must be >= 2")
+    data = np.asarray(plane, dtype=np.float64)
+    ny, nx = data.shape
+    cols = min(width, nx)
+    rows = max(1, min(width // 2, ny))
+    # block average to the display resolution
+    col_edges = np.linspace(0, nx, cols + 1).astype(int)
+    row_edges = np.linspace(0, ny, rows + 1).astype(int)
+    small = np.empty((rows, cols))
+    for r in range(rows):
+        for c in range(cols):
+            block = data[row_edges[r]:row_edges[r + 1], col_edges[c]:col_edges[c + 1]]
+            small[r, c] = block.mean() if block.size else 0.0
+
+    lo, hi = value_range if value_range else (float(data.min()), float(data.max()))
+    span = hi - lo
+    if span <= 0:
+        norm = np.zeros_like(small)
+    else:
+        norm = np.clip((small - lo) / span, 0.0, 1.0)
+    idx = (norm * (len(RAMP) - 1)).round().astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(RAMP[i] for i in row) for row in idx)
+    lines.append(f"scale: '{RAMP[0]}'={lo:.4g} .. '{RAMP[-1]}'={hi:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Table 1: the Frontier hardware/software summary.
+
+Pure data (see :mod:`repro.cluster.frontier`); the bench target exists
+so every table of the paper has a regenerating entry point, and its
+checks pin the constants the performance models consume.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.frontier import FRONTIER, MachineSpec
+from repro.util.units import GB, TB
+
+
+def run() -> MachineSpec:
+    return FRONTIER
+
+
+def render(machine: MachineSpec) -> str:
+    return machine.describe()
+
+
+def shape_checks(machine: MachineSpec) -> dict[str, bool]:
+    node = machine.node
+    fs = machine.filesystem
+    return {
+        "nodes": machine.nodes == 9408,
+        "gcd_bandwidth": node.gcd.hbm_peak_bytes_per_s == 1600 * GB,
+        "gpu_cpu_link": node.gpu_cpu_bytes_per_s == 36 * GB,
+        "fs_write_peak": fs.peak_write_bytes_per_s == 5.5 * TB,
+        "eight_gcds_per_node": node.gcds_per_node == 8,
+        "software_versions_recorded": machine.software.julia == "1.9.2",
+    }

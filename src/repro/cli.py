@@ -1,0 +1,242 @@
+"""Command-line interface: ``grayscott <command>``.
+
+Commands:
+
+- ``run <settings.json>`` — run the end-to-end workflow from a settings
+  file (the artifact's usage pattern) and print the provenance report;
+- ``analyze <dataset.bp>`` — summarize a dataset and render the centre
+  V slice as an ASCII heatmap (the Figure 9 session, in a terminal);
+- ``bpls <dataset.bp>`` — the Listing 1 provenance record;
+- ``bench <target>`` — regenerate a paper table/figure (table1-3,
+  fig5-8, listing1/4), the strong-scaling extension (``strong``), or
+  the machine-readable JSON of everything (``report``);
+- ``campaign <base.json> --regimes a,b`` — Pearson-regime sweeps;
+- ``compare <a.bp> <b.bp> [--strict]`` — dataset diffs (max/RMS/PSNR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.settings import GrayScottSettings
+    from repro.core.workflow import Workflow
+
+    settings = GrayScottSettings.load(args.settings)
+    workflow = Workflow(settings)
+    if args.trace:
+        if settings.backend == "cpu":
+            print("grayscott: --trace needs a GPU backend (julia/hip)",
+                  file=sys.stderr)
+            return 2
+        from repro.gpu.rocprof import Profiler
+
+        profiler = Profiler()
+        workflow.sim.device.profiler = profiler
+    report = workflow.run()
+    print(report.render())
+    if args.trace:
+        profiler.report().write_csv(args.trace)
+        print(f"rocprof-style trace written to {args.trace}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.reader import GrayScottDataset
+    from repro.analysis.render import ascii_heatmap
+    from repro.analysis.stats import classify_pattern
+
+    ds = GrayScottDataset(args.dataset)
+    print(f"dataset: {args.dataset}")
+    print(f"shape: {ds.shape}, output steps: {len(ds.steps)}")
+    for name in ds.FIELDS:
+        lo, hi = ds.minmax(name)
+        print(f"  {name}: min/max {lo:g} / {hi:g}")
+    plane = ds.slice2d("V", axis=2)
+    print(ascii_heatmap(plane, title="V centre slice (last step)", width=args.width))
+    print(f"pattern: {classify_pattern(plane)}")
+    if args.images:
+        from repro.analysis.imageio import snapshot_dataset
+
+        written = snapshot_dataset(ds, args.images)
+        print(f"wrote {len(written)} frames to {args.images}/")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.campaign import Campaign
+    from repro.core.params import PEARSON_REGIMES
+    from repro.core.settings import GrayScottSettings
+
+    base = GrayScottSettings.load(args.settings)
+    campaign = Campaign(base, workdir=args.workdir)
+    for name in args.regimes.split(","):
+        name = name.strip()
+        if name not in PEARSON_REGIMES:
+            print(
+                f"grayscott: unknown regime {name!r}; "
+                f"available: {', '.join(sorted(PEARSON_REGIMES))}",
+                file=sys.stderr,
+            )
+            return 2
+        F, k = PEARSON_REGIMES[name]
+        campaign.add(name, F=F, k=k)
+    result = campaign.run()
+    print(result.render())
+    if args.provenance:
+        result.save_provenance(args.provenance)
+        print(f"provenance written to {args.provenance}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_datasets, render_comparison
+
+    deltas = compare_datasets(args.dataset_a, args.dataset_b)
+    print(render_comparison(deltas))
+    if args.strict and any(not d.identical for d in deltas):
+        return 1
+    return 0
+
+
+def _cmd_bpls(args: argparse.Namespace) -> int:
+    from repro.adios.bpls import bpls
+
+    print(bpls(args.dataset))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    target = args.target
+    if target == "table1":
+        from repro.bench import table1
+
+        print(table1.render(table1.run()))
+    elif target == "table2":
+        from repro.bench import table2
+
+        print(table2.render(table2.run()))
+    elif target == "table3":
+        from repro.bench import table3
+
+        print(table3.render(table3.run()))
+    elif target == "fig5":
+        from repro.bench import fig5
+
+        print(fig5.render(fig5.run()))
+    elif target == "fig6":
+        from repro.bench import fig6
+
+        print(fig6.render_frontier(fig6.run_frontier()))
+        print()
+        print(fig6.render_mini(fig6.run_mini()))
+    elif target == "fig7":
+        from repro.bench import fig7
+
+        print(fig7.render(fig7.run()))
+    elif target == "fig8":
+        from repro.bench import fig8
+
+        print(fig8.render_frontier(fig8.run_frontier()))
+        print()
+        print(fig8.render_mini(fig8.run_mini()))
+    elif target == "listing1":
+        from repro.bench import listings
+
+        print(listings.run_listing1().listing)
+    elif target == "listing4":
+        from repro.bench import listings
+
+        print(listings.run_listing4().ir)
+    elif target == "strong":
+        from repro.mpi.strongscaling import StrongScalingModel
+
+        model = StrongScalingModel()
+        print(model.render(model.run()))
+    elif target == "report":
+        import json
+
+        from repro.bench import report
+
+        print(json.dumps(report.collect(), indent=2))
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown bench target {target!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grayscott",
+        description="Gray-Scott end-to-end HPC workflow reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a workflow from a settings file")
+    p_run.add_argument("settings", help="path to a JSON settings file")
+    p_run.add_argument(
+        "--trace", metavar="CSV",
+        help="write a rocprof-style results.csv (GPU backends only)",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_an = sub.add_parser("analyze", help="summarize + render a dataset")
+    p_an.add_argument("dataset", help="path to a .bp dataset")
+    p_an.add_argument("--width", type=int, default=64)
+    p_an.add_argument(
+        "--images", metavar="DIR",
+        help="also write one PPM frame per output step into DIR",
+    )
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_ls = sub.add_parser("bpls", help="list a dataset's provenance record")
+    p_ls.add_argument("dataset", help="path to a .bp dataset")
+    p_ls.set_defaults(func=_cmd_bpls)
+
+    p_camp = sub.add_parser(
+        "campaign", help="sweep Pearson regimes from a base settings file"
+    )
+    p_camp.add_argument("settings", help="base JSON settings file")
+    p_camp.add_argument(
+        "--regimes", default="paper,alpha,epsilon",
+        help="comma-separated Pearson regime names",
+    )
+    p_camp.add_argument("--workdir", default=".", help="output directory")
+    p_camp.add_argument("--provenance", help="write campaign provenance JSON here")
+    p_camp.set_defaults(func=_cmd_campaign)
+
+    p_cmp = sub.add_parser("compare", help="diff two datasets (max/RMS/PSNR)")
+    p_cmp.add_argument("dataset_a")
+    p_cmp.add_argument("dataset_b")
+    p_cmp.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero unless bitwise identical",
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p_bench.add_argument(
+        "target",
+        choices=[
+            "table1", "table2", "table3",
+            "fig5", "fig6", "fig7", "fig8",
+            "listing1", "listing4", "report", "strong",
+        ],
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

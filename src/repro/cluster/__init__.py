@@ -1,0 +1,28 @@
+"""Machine model for the Frontier exascale system (paper Table 1).
+
+:mod:`repro.cluster.frontier` encodes the hardware and software
+characteristics the paper reports; :mod:`repro.cluster.placement` maps
+MPI ranks onto nodes and GCDs the way the paper's runs did (one GCD per
+MPI process, eight GCDs per node).
+"""
+
+from repro.cluster.frontier import (
+    FRONTIER,
+    GcdSpec,
+    NodeSpec,
+    FileSystemSpec,
+    MachineSpec,
+    SoftwareStack,
+)
+from repro.cluster.placement import Placement, RankLocation
+
+__all__ = [
+    "FRONTIER",
+    "GcdSpec",
+    "NodeSpec",
+    "FileSystemSpec",
+    "MachineSpec",
+    "SoftwareStack",
+    "Placement",
+    "RankLocation",
+]

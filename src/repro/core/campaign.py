@@ -1,0 +1,99 @@
+"""Campaigns: parameter sweeps of end-to-end workflows.
+
+A real workflow system runs families of simulations — the paper's
+weak-scaling ladder is itself a campaign over job sizes, and Pearson
+exploration is a campaign over (F, k). :class:`Campaign` runs a list of
+named :class:`~repro.core.settings.GrayScottSettings` variants through
+the full Workflow, collects every report, and renders/saves a combined
+FAIR provenance record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.settings import GrayScottSettings
+from repro.core.workflow import Workflow, WorkflowReport
+from repro.util.errors import ConfigError
+from repro.util.tables import Table
+
+
+@dataclass
+class CampaignResult:
+    """All member reports of one campaign, keyed by variant name."""
+
+    reports: dict[str, WorkflowReport] = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = Table(
+            ["variant", "F", "k", "steps", "outputs", "V max", "wall (s)"],
+            title=f"Campaign: {len(self.reports)} runs",
+        )
+        for name, report in self.reports.items():
+            settings = report.settings
+            table.add_row(
+                [
+                    name,
+                    settings.F,
+                    settings.k,
+                    report.steps_run,
+                    report.output_steps,
+                    report.analysis.get("V_max", "-"),
+                    f"{report.wall_seconds:.2f}",
+                ]
+            )
+        return table.render()
+
+    def provenance(self) -> dict:
+        return {
+            "campaign": {name: r.provenance() for name, r in self.reports.items()}
+        }
+
+    def save_provenance(self, path) -> None:
+        Path(path).write_text(json.dumps(self.provenance(), indent=2))
+
+
+class Campaign:
+    """A named family of workflow runs.
+
+    >>> campaign = Campaign(base_settings, workdir="out/")
+    >>> campaign.add("alpha", F=0.010, k=0.047)
+    >>> campaign.add("beta", F=0.026, k=0.051)
+    >>> result = campaign.run()
+    """
+
+    def __init__(self, base: GrayScottSettings, *, workdir: str | Path = "."):
+        self.base = base
+        self.workdir = Path(workdir)
+        self._variants: dict[str, GrayScottSettings] = {}
+
+    def add(self, name: str, **overrides) -> GrayScottSettings:
+        """Register a variant: base settings + overrides.
+
+        The output path is derived from the variant name unless the
+        overrides set one explicitly.
+        """
+        if name in self._variants:
+            raise ConfigError(f"campaign variant {name!r} already defined")
+        if not name or "/" in name:
+            raise ConfigError(f"invalid variant name {name!r}")
+        overrides.setdefault("output", str(self.workdir / f"{name}.bp"))
+        settings = self.base.with_overrides(**overrides)
+        self._variants[name] = settings
+        return settings
+
+    @property
+    def variants(self) -> dict[str, GrayScottSettings]:
+        return dict(self._variants)
+
+    def run(self, *, analyze: bool = True) -> CampaignResult:
+        """Run every variant sequentially; returns all reports."""
+        if not self._variants:
+            raise ConfigError("campaign has no variants; call add() first")
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        result = CampaignResult()
+        for name, settings in self._variants.items():
+            result.reports[name] = Workflow(settings).run(analyze=analyze)
+        return result

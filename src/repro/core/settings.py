@@ -1,0 +1,137 @@
+"""JSON settings files, compatible with the GrayScott.jl artifact.
+
+The paper's artifact configures runs through JSON settings files
+(``examples/settings-files.json`` in the GrayScott.jl repository) with
+keys like ``L``, ``Du``, ``Dv``, ``F``, ``k``, ``dt``, ``steps``,
+``plotgap``, ``noise``, ``output``, ``checkpoint``. This module reads
+and writes that schema and adds the knobs our reproduction introduces
+(backend, decomposition) under the same flat-JSON style; unknown keys
+are rejected so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.core.params import GrayScottParams
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GrayScottSettings:
+    """One run configuration (the artifact's settings-file schema)."""
+
+    #: global cells per dimension (the domain is L x L x L)
+    L: int = 64
+    #: optional non-cubic global shape; 0 means "use L" for that axis
+    nx: int = 0
+    ny: int = 0
+    nz: int = 0
+    Du: float = 0.2
+    Dv: float = 0.1
+    F: float = 0.02
+    k: float = 0.048
+    dt: float = 1.0
+    noise: float = 0.1
+    #: total simulation steps
+    steps: int = 100
+    #: write output every `plotgap` steps
+    plotgap: int = 10
+    #: output dataset name
+    output: str = "gs.bp"
+    #: checkpoint file ("" disables checkpointing)
+    checkpoint: str = ""
+    #: checkpoint every `checkpoint_freq` steps (when enabled)
+    checkpoint_freq: int = 700
+    #: RNG seed for the noise term
+    seed: int = 42
+    #: compute backend: "cpu" (vectorized NumPy) or a simulated GPU
+    #: backend name ("julia", "hip")
+    backend: str = "cpu"
+    #: adios engine for output
+    adios_engine: str = "BP5"
+    #: precision of the fields ("float64" or "float32")
+    precision: str = "float64"
+    #: boundary conditions: "periodic" (the paper's) or "neumann"
+    #: (zero-flux walls)
+    boundary: str = "periodic"
+    #: ghost exchange strategy: "sequential" (axis-by-axis blocking,
+    #: Listing 3) or "overlapped" (post-all-then-wait; valid because the
+    #: 7-point stencil reads face ghosts only)
+    exchange: str = "sequential"
+
+    def __post_init__(self) -> None:
+        if self.L < 4:
+            raise ConfigError(f"L must be >= 4 (got {self.L})")
+        for axis, n in (("nx", self.nx), ("ny", self.ny), ("nz", self.nz)):
+            if n != 0 and n < 4:
+                raise ConfigError(f"{axis} must be 0 (use L) or >= 4 (got {n})")
+        if self.steps < 0:
+            raise ConfigError(f"steps must be >= 0 (got {self.steps})")
+        if self.plotgap <= 0:
+            raise ConfigError(f"plotgap must be > 0 (got {self.plotgap})")
+        if self.checkpoint and self.checkpoint_freq <= 0:
+            raise ConfigError(f"checkpoint_freq must be > 0 (got {self.checkpoint_freq})")
+        if self.precision not in ("float64", "float32"):
+            raise ConfigError(f"precision must be float64|float32 (got {self.precision!r})")
+        if self.backend not in ("cpu", "julia", "hip"):
+            raise ConfigError(
+                f"backend must be cpu|julia|hip (got {self.backend!r})"
+            )
+        if self.boundary not in ("periodic", "neumann"):
+            raise ConfigError(
+                f"boundary must be periodic|neumann (got {self.boundary!r})"
+            )
+        if self.exchange not in ("sequential", "overlapped"):
+            raise ConfigError(
+                f"exchange must be sequential|overlapped (got {self.exchange!r})"
+            )
+        # validate the physics eagerly so bad settings files fail at load
+        self.params()
+
+    def params(self) -> GrayScottParams:
+        return GrayScottParams(
+            Du=self.Du, Dv=self.Dv, F=self.F, k=self.k, noise=self.noise, dt=self.dt
+        )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.nx or self.L, self.ny or self.L, self.nz or self.L)
+
+    def with_overrides(self, **kwargs) -> "GrayScottSettings":
+        return replace(self, **kwargs)
+
+    # -- JSON round trip ----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GrayScottSettings":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"settings file is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ConfigError("settings JSON must be an object")
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown settings keys: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        try:
+            return cls(**raw)
+        except TypeError as exc:
+            raise ConfigError(f"bad settings value types: {exc}") from exc
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "GrayScottSettings":
+        p = Path(path)
+        if not p.exists():
+            raise ConfigError(f"settings file not found: {p}")
+        return cls.from_json(p.read_text())

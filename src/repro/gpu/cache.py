@@ -1,0 +1,329 @@
+"""TCC (L2) cache traffic models for stencil kernels.
+
+Why the measured FETCH_SIZE in Table 3 is ~3x the "effective" minimum
+of Eq. (4a): the 7-point stencil reads each cell from three different
+z-planes, and at 1024^3 one double-precision plane is 8.4 MB — larger
+than the 8 MB TCC of a GCD — so the z +/- 1 reuse never hits and every
+plane streams through the cache three times. The paper's effective
+fetch (8.59 GB) vs. rocprof fetch (25.08 GB) is exactly this ratio.
+
+Two models live here:
+
+- :class:`StencilTrafficModel` — the analytic working-set model used at
+  Frontier scale. Given the per-array stencil offset sets recovered by
+  the tracing JIT, it decides how many *streaming passes* each array
+  costs (1 if the z working set fits in cache, otherwise one per
+  distinct z-offset, and so on hierarchically for y).
+- :class:`TraceCacheSim` — an exact set-associative LRU simulator over
+  the real access stream. Too slow for 1024^3 but exact at test sizes;
+  ``tests/gpu/test_cache.py`` uses it to validate the analytic model on
+  both sides of the fits-in-cache boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.frontier import GcdSpec
+from repro.util.errors import GpuError
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Modeled memory traffic + TCC counters for one kernel launch."""
+
+    fetch_bytes: float
+    write_bytes: float
+    tcc_requests: float
+    tcc_hits: float
+    tcc_misses: float
+    #: diagnostic: streaming passes charged per array name
+    passes_by_array: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.fetch_bytes + self.write_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        if self.tcc_requests == 0:
+            return 0.0
+        return self.tcc_hits / self.tcc_requests
+
+
+def effective_fetch_cells(shape: tuple[int, int, int]) -> int:
+    """Cells a radius-1 7-point stencil must fetch at least once.
+
+    Generalizes the paper's Eq. (4a) — ``L^3 - 8 - 12(L-2)`` for a cube
+    — to a box: all cells except the 8 corners and the interiors of the
+    12 edges, which no interior cell's stencil ever touches.
+    """
+    n0, n1, n2 = shape
+    if min(shape) < 2:
+        return int(np.prod(shape))
+    edges = 4 * ((n0 - 2) + (n1 - 2) + (n2 - 2))
+    return n0 * n1 * n2 - 8 - edges
+
+
+def effective_write_cells(shape: tuple[int, int, int]) -> int:
+    """Paper Eq. (4b): interior cells only, ``(L-2)^3`` for a cube."""
+    return int(np.prod([max(0, n - 2) for n in shape]))
+
+
+_SEVEN_POINT = {
+    (0, 0, 0),
+    (-1, 0, 0), (1, 0, 0),
+    (0, -1, 0), (0, 1, 0),
+    (0, 0, -1), (0, 0, 1),
+}
+
+
+class StencilTrafficModel:
+    """Analytic working-set traffic model for one GCD.
+
+    Arrays are Fortran-ordered (axis 0 contiguous), matching Julia.
+    """
+
+    def __init__(self, spec: GcdSpec | None = None):
+        self.spec = spec or GcdSpec()
+
+    def passes_for(
+        self, shape: tuple[int, int, int], itemsize: int, offsets: set[tuple[int, ...]]
+    ) -> int:
+        """Streaming passes one array costs under LRU capacity limits.
+
+        Hierarchical working-set test (axis 0 contiguous):
+        - if the full z working set (distinct z-extent of the stencil,
+          in planes) fits in the TCC, every line is fetched once;
+        - else each distinct z-offset group streams separately, provided
+          the y working set (rows) fits;
+        - else every distinct (y, z) offset pair streams separately.
+        """
+        if not offsets:
+            return 0
+        n0, n1, _ = shape
+        z_offsets = {o[2] for o in offsets}
+        y_offsets = {o[1] for o in offsets}
+        z_extent = max(z_offsets) - min(z_offsets) + 1
+        y_extent = max(y_offsets) - min(y_offsets) + 1
+
+        plane_bytes = n0 * n1 * itemsize
+        row_bytes = n0 * itemsize
+        cache = self.spec.tcc_bytes
+
+        if z_extent * plane_bytes <= cache:
+            return 1
+        if y_extent * row_bytes <= cache:
+            return len(z_offsets)
+        return len(z_offsets) * len(y_offsets)
+
+    def estimate(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        loads_by_array: dict[str, set[tuple[int, ...]]],
+        stores_by_array: dict[str, set[tuple[int, ...]]],
+    ) -> TrafficEstimate:
+        """Traffic for one launch over arrays of a common ``shape``."""
+        if len(shape) != 3:
+            raise GpuError(f"traffic model expects 3D arrays, got shape {shape}")
+        cells = int(np.prod(shape))
+        array_bytes = cells * itemsize
+        lines = math.ceil(array_bytes / self.spec.cache_line_bytes)
+
+        fetch = 0.0
+        requests = 0.0
+        misses = 0.0
+        passes_by_array: dict[str, int] = {}
+
+        for name, offsets in loads_by_array.items():
+            passes = self.passes_for(shape, itemsize, offsets)
+            passes_by_array[name] = passes
+            fetch += passes * array_bytes
+            # The TCC sees one request per distinct offset per line (L1
+            # absorbs within-line reuse); `passes` of them miss.
+            requests += len(offsets) * lines
+            misses += passes * lines
+
+        write = 0.0
+        for name, offsets in stores_by_array.items():
+            write += len(offsets) * array_bytes
+            requests += len(offsets) * lines
+            misses += len(offsets) * lines  # streaming stores: no reuse
+
+        return TrafficEstimate(
+            fetch_bytes=fetch,
+            write_bytes=write,
+            tcc_requests=requests,
+            tcc_hits=requests - misses,
+            tcc_misses=misses,
+            passes_by_array=passes_by_array,
+        )
+
+
+class TraceCacheSim:
+    """Exact set-associative LRU cache over a stencil access stream.
+
+    Replays the access stream of a radius-r stencil sweep over a
+    Fortran-ordered array: for each interior cell in storage order, one
+    access per load offset, then one per store. Counts line fills
+    (misses) and hits; ``fetch_bytes`` is misses x line size for load
+    accesses.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int = 64,
+        associativity: int = 16,
+    ):
+        if capacity_bytes < line_bytes * associativity:
+            raise GpuError("cache smaller than a single set")
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = capacity_bytes // (line_bytes * associativity)
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.load_misses = 0
+
+    def access(self, line: int, *, is_load: bool = True) -> bool:
+        """Probe one cache line; returns True on hit."""
+        target = self._sets[line % self.num_sets]
+        if line in target:
+            target.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if is_load:
+            self.load_misses += 1
+        target[line] = True
+        if len(target) > self.associativity:
+            target.popitem(last=False)
+        return False
+
+    @property
+    def fetch_bytes(self) -> int:
+        return self.load_misses * self.line_bytes
+
+    def sweep(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        load_offsets: set[tuple[int, int, int]],
+        *,
+        base_address: int = 0,
+        store: bool = True,
+        store_base_address: int | None = None,
+    ) -> None:
+        """Replay one stencil sweep over an array of ``shape``.
+
+        ``base_address`` lets multiple arrays coexist in the same cache
+        (pass distinct, page-aligned bases). The sweep walks interior
+        cells in Fortran storage order — i fastest — which is also the
+        order wavefronts retire in the real kernel's x-fastest launch.
+        """
+        n0, n1, n2 = shape
+        stride0 = itemsize
+        stride1 = n0 * itemsize
+        stride2 = n0 * n1 * itemsize
+        offsets = sorted(load_offsets)
+        radius = max(abs(c) for o in offsets for c in o) if offsets else 0
+        lo = radius
+        store_base = store_base_address if store_base_address is not None else (
+            base_address + 2 * stride2 * n2
+        )
+        for k in range(lo, n2 - lo):
+            for j in range(lo, n1 - lo):
+                for i in range(lo, n0 - lo):
+                    cell = i * stride0 + j * stride1 + k * stride2
+                    for di, dj, dk in offsets:
+                        addr = base_address + cell + di * stride0 + dj * stride1 + dk * stride2
+                        self.access(addr // self.line_bytes, is_load=True)
+                    if store:
+                        self.access((store_base + cell) // self.line_bytes, is_load=False)
+
+
+    def multi_sweep(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        loads_by_array: dict[str, set[tuple[int, ...]]],
+        stores_by_array: dict[str, set[tuple[int, ...]]],
+    ) -> TrafficEstimate:
+        """Exact counters for one interleaved multi-array stencil sweep.
+
+        Emulates the real kernel's access order: per interior cell, all
+        arrays' loads then all stores, arrays living at page-separated
+        base addresses in the same cache. Returns a
+        :class:`TrafficEstimate` directly comparable with
+        :meth:`StencilTrafficModel.estimate`.
+        """
+        n0, n1, n2 = shape
+        stride0 = itemsize
+        stride1 = n0 * itemsize
+        stride2 = n0 * n1 * itemsize
+        array_bytes = n0 * n1 * n2 * itemsize
+        # page-align each array's base well apart
+        span = -(-array_bytes // 4096) * 4096 + 4096
+        bases: dict[str, int] = {}
+        for name in list(loads_by_array) + [
+            s for s in stores_by_array if s not in loads_by_array
+        ]:
+            bases[name] = len(bases) * span
+
+        load_plan = [
+            (bases[name], sorted(offsets))
+            for name, offsets in loads_by_array.items()
+        ]
+        store_plan = [
+            (bases[name], sorted(offsets))
+            for name, offsets in stores_by_array.items()
+        ]
+        radius = max(
+            (abs(c) for _, offs in load_plan + store_plan for o in offs for c in o),
+            default=0,
+        )
+        requests = 0
+        write_accesses = 0
+        fetch_misses_before = self.load_misses
+        lo = radius
+        for k in range(lo, n2 - lo):
+            for j in range(lo, n1 - lo):
+                for i in range(lo, n0 - lo):
+                    cell = i * stride0 + j * stride1 + k * stride2
+                    for base, offsets in load_plan:
+                        for di, dj, dk in offsets:
+                            addr = (
+                                base + cell
+                                + di * stride0 + dj * stride1 + dk * stride2
+                            )
+                            self.access(addr // self.line_bytes, is_load=True)
+                            requests += 1
+                    for base, offsets in store_plan:
+                        for di, dj, dk in offsets:
+                            addr = (
+                                base + cell
+                                + di * stride0 + dj * stride1 + dk * stride2
+                            )
+                            self.access(addr // self.line_bytes, is_load=False)
+                            requests += 1
+                            write_accesses += 1
+        fetch = (self.load_misses - fetch_misses_before) * self.line_bytes
+        return TrafficEstimate(
+            fetch_bytes=float(fetch),
+            write_bytes=float(write_accesses * itemsize),
+            tcc_requests=float(requests),
+            tcc_hits=float(self.hits),
+            tcc_misses=float(self.misses),
+            passes_by_array={},
+        )
+
+
+def seven_point_offsets() -> set[tuple[int, int, int]]:
+    """The paper's 7-point Laplacian stencil offsets (Eq. 3)."""
+    return set(_SEVEN_POINT)

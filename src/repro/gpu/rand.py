@@ -1,0 +1,93 @@
+"""Counter-based device RNG.
+
+The paper's kernel draws ``rand(Uniform(-1, 1))`` *inside* the GPU
+kernel — this is exactly the feature that forces AMDGPU.jl to allocate
+LDS and scratch (Table 3's ``lds``/``scr`` rows) and part of why the
+application kernel is slower than the no-random variant (Table 2).
+
+A stateful RNG is not reproducible across decompositions or between
+the scalar interpreter and the vectorized path, so we use a
+counter-based generator instead (the same idea as Philox): the sample
+at (seed, step, i, j, k) is a pure hash of its coordinates. The scalar
+form :func:`counter_uniform` and the vectorized :func:`uniform_field`
+produce bitwise-identical values.
+
+During JIT tracing the index arguments are symbolic; the tracer
+intercepts the call, records a ``rand`` op for the codegen cost model,
+and returns a concrete sample so tracing can proceed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64_int(x: int) -> int:
+    """One splitmix64 round on a Python int (no numpy overflow warnings)."""
+    x = (x + 0x9E3779B97F4A7C15) & _U64_MASK
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64_MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64_MASK
+    return z ^ (z >> 31)
+
+
+def counter_hash(*keys: int) -> int:
+    """Combine integer keys into a 64-bit hash, order-sensitively."""
+    h = 0
+    for key in keys:
+        h = _splitmix64_int(h ^ (int(key) & _U64_MASK))
+    return h
+
+
+def counter_uniform(*keys) -> float:
+    """A uniform sample in [-1, 1) keyed purely by its coordinates.
+
+    Accepts traced integers during JIT tracing (see module docstring).
+    """
+    from repro.gpu.jit import TracedInt, TracedFloat
+
+    traced = [k for k in keys if isinstance(k, TracedInt)]
+    if traced:
+        tracer = traced[0].tracer
+        tracer.record_rand()
+        concrete = counter_uniform(*[int(k) for k in keys])
+        return TracedFloat(tracer, concrete)
+    h = counter_hash(*keys)
+    # 53 random mantissa bits -> [0, 1), then map to [-1, 1).
+    return (h >> 11) * (2.0**-53) * 2.0 - 1.0
+
+
+def uniform_field(
+    seed: int, step: int, shape: tuple[int, int, int], offset: tuple[int, int, int]
+) -> np.ndarray:
+    """Vectorized ``counter_uniform(seed, step, i, j, k)`` over a grid.
+
+    ``offset`` maps local array indices to global cell coordinates so a
+    decomposed run samples the same noise as a single-domain run.
+    Returns a Fortran-ordered float64 array matching the scalar form
+    bitwise.
+    """
+    with np.errstate(over="ignore"):
+        i = (np.arange(shape[0], dtype=np.uint64) + np.uint64(offset[0]))[:, None, None]
+        j = (np.arange(shape[1], dtype=np.uint64) + np.uint64(offset[1]))[None, :, None]
+        k = (np.arange(shape[2], dtype=np.uint64) + np.uint64(offset[2]))[None, None, :]
+        h = _splitmix64_vec(np.uint64(0) ^ np.uint64(seed))
+        h = _splitmix64_vec(h ^ np.uint64(step))
+        h = _splitmix64_vec(h ^ i)
+        h = _splitmix64_vec(h ^ j)
+        h = _splitmix64_vec(h ^ k)
+    out = (h >> np.uint64(11)).astype(np.float64) * (2.0**-53) * 2.0 - 1.0
+    return np.asfortranarray(out)
+
+
+def _splitmix64_vec(x: np.ndarray | np.uint64) -> np.ndarray | np.uint64:
+    x = x + _GOLDEN
+    z = x
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))

@@ -1,0 +1,251 @@
+"""A rocprof-style profiler for the simulated device.
+
+Records kernel dispatches, JIT compilations, and H2D/D2H copies with
+their modeled timestamps, then renders
+
+- per-kernel counter rows in Table 3's format (``wgr``, ``lds``,
+  ``scr``, ``FETCH_SIZE``, ``WRITE_SIZE``, ``TCC_HIT``, ``TCC_MISS``,
+  average duration), and
+- a Figure-5-style text trace of computational load and memory
+  transfers over simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.calibration import ROCPROF_COUNTER_SAMPLE_DIVISOR
+from repro.gpu.kernel import LaunchConfig
+from repro.gpu.perf import LaunchCost
+from repro.util.tables import Table
+from repro.util.units import GB, format_seconds
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    """One timeline entry: a kernel, a copy, or a JIT compilation."""
+
+    device: str
+    kind: str  # "kernel" | "copy" | "compile"
+    name: str
+    start: float
+    seconds: float
+    nbytes: float = 0.0
+    cost: LaunchCost | None = None
+    workgroup_size: int = 0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.seconds
+
+
+@dataclass
+class KernelStats:
+    """Accumulated counters for one kernel symbol (one Table 3 column)."""
+
+    name: str
+    calls: int = 0
+    total_seconds: float = 0.0
+    fetch_bytes: float = 0.0
+    write_bytes: float = 0.0
+    tcc_hits: float = 0.0
+    tcc_misses: float = 0.0
+    workgroup_size: int = 0
+    lds_bytes: int = 0
+    scratch_bytes: int = 0
+
+    @property
+    def avg_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    @property
+    def avg_fetch_bytes(self) -> float:
+        return self.fetch_bytes / self.calls if self.calls else 0.0
+
+    @property
+    def avg_write_bytes(self) -> float:
+        return self.write_bytes / self.calls if self.calls else 0.0
+
+    @property
+    def tcc_hit_m(self) -> float:
+        """TCC_HIT per call in rocprof-normalized millions (Table 3)."""
+        if not self.calls:
+            return 0.0
+        return self.tcc_hits / self.calls / ROCPROF_COUNTER_SAMPLE_DIVISOR / 1e6
+
+    @property
+    def tcc_miss_m(self) -> float:
+        if not self.calls:
+            return 0.0
+        return self.tcc_misses / self.calls / ROCPROF_COUNTER_SAMPLE_DIVISOR / 1e6
+
+
+class Profiler:
+    """Collects :class:`ProfileEvent` entries from one or more devices."""
+
+    def __init__(self) -> None:
+        self.events: list[ProfileEvent] = []
+
+    # -- recording hooks (called by Device) -----------------------------
+    def record_kernel(
+        self,
+        device: str,
+        name: str,
+        start: float,
+        cost: LaunchCost,
+        config: LaunchConfig,
+    ) -> None:
+        self.events.append(
+            ProfileEvent(
+                device=device,
+                kind="kernel",
+                name=name,
+                start=start,
+                seconds=cost.seconds,
+                nbytes=cost.total_bytes,
+                cost=cost,
+                workgroup_size=config.workgroup_size,
+            )
+        )
+
+    def record_copy(self, device: str, kind: str, nbytes: int, start: float, seconds: float) -> None:
+        self.events.append(
+            ProfileEvent(
+                device=device, kind="copy", name=kind, start=start,
+                seconds=seconds, nbytes=nbytes,
+            )
+        )
+
+    def record_compile(self, device: str, name: str, start: float, seconds: float) -> None:
+        self.events.append(
+            ProfileEvent(device=device, kind="compile", name=name, start=start, seconds=seconds)
+        )
+
+    # -- queries ---------------------------------------------------------
+    def kernel_events(self, name: str | None = None) -> list[ProfileEvent]:
+        return [
+            e for e in self.events
+            if e.kind == "kernel" and (name is None or e.name == name)
+        ]
+
+    def report(self, device=None) -> "RocprofReport":
+        return RocprofReport.from_events(self.events, device=device)
+
+
+@dataclass
+class RocprofReport:
+    """Aggregated per-kernel stats + the raw timeline."""
+
+    stats: dict[str, KernelStats] = field(default_factory=dict)
+    events: list[ProfileEvent] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, events, *, device=None) -> "RocprofReport":
+        report = cls(events=[e for e in events if device is None or e.device == device])
+        for event in report.events:
+            if event.kind != "kernel" or event.cost is None:
+                continue
+            st = report.stats.setdefault(event.name, KernelStats(event.name))
+            st.calls += 1
+            st.total_seconds += event.seconds
+            st.fetch_bytes += event.cost.fetch_bytes
+            st.write_bytes += event.cost.write_bytes
+            st.tcc_hits += event.cost.tcc_hits
+            st.tcc_misses += event.cost.tcc_misses
+            st.workgroup_size = event.workgroup_size
+        return report
+
+    def attach_codegen(self, kernel_name: str, compiled) -> None:
+        """Attach wgr/lds/scr from a :class:`CompiledKernel`."""
+        st = self.stats.get(kernel_name)
+        if st is None:
+            return
+        st.workgroup_size = compiled.workgroup_size
+        st.lds_bytes = compiled.lds_bytes
+        st.scratch_bytes = compiled.scratch_bytes
+
+    def render_table(self, title: str = "rocprof outputs") -> str:
+        """The Table 3 layout: one column block per kernel."""
+        table = Table(
+            ["metric", *self.stats.keys()],
+            title=title,
+        )
+        columns = list(self.stats.values())
+        rows = [
+            ("wgr", lambda s: s.workgroup_size),
+            ("lds", lambda s: s.lds_bytes),
+            ("scr", lambda s: s.scratch_bytes),
+            ("FETCH_SIZE (GB)", lambda s: s.avg_fetch_bytes / GB),
+            ("WRITE_SIZE (GB)", lambda s: s.avg_write_bytes / GB),
+            ("TCC_HIT (M)", lambda s: s.tcc_hit_m),
+            ("TCC_MISS (M)", lambda s: s.tcc_miss_m),
+            ("Avg Duration (ms)", lambda s: s.avg_seconds * 1e3),
+        ]
+        for label, getter in rows:
+            table.add_row([label, *(getter(s) for s in columns)])
+        return table.render()
+
+    def to_csv(self) -> str:
+        """The rocprof ``results.csv`` shape: one row per dispatch/copy.
+
+        Columns follow rocprof's conventions (timestamps in ns, sizes in
+        bytes); compile events appear with KernelName ``<jit>`` so the
+        Figure 7 overhead is visible in the same file.
+        """
+        header = (
+            '"Index","KernelName","gpu-id","BeginNs","EndNs","DurationNs",'
+            '"FETCH_SIZE","WRITE_SIZE","TCC_HIT","TCC_MISS","wgr"'
+        )
+        lines = [header]
+        for index, event in enumerate(self.events):
+            if event.kind == "kernel" and event.cost is not None:
+                name = event.name
+                fetch = int(event.cost.fetch_bytes)
+                write = int(event.cost.write_bytes)
+                hits = int(event.cost.tcc_hits)
+                misses = int(event.cost.tcc_misses)
+            elif event.kind == "compile":
+                name = f"<jit:{event.name}>"
+                fetch = write = hits = misses = 0
+            else:
+                name = f"<memcpy:{event.name}>"
+                fetch = int(event.nbytes) if event.name == "D2H" else 0
+                write = int(event.nbytes) if event.name == "H2D" else 0
+                hits = misses = 0
+            lines.append(
+                f'{index},"{name}","{event.device}",'
+                f"{int(event.start * 1e9)},{int(event.end * 1e9)},"
+                f"{int(event.seconds * 1e9)},"
+                f"{fetch},{write},{hits},{misses},{event.workgroup_size}"
+            )
+        return "\n".join(lines)
+
+    def write_csv(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv() + "\n")
+
+    def render_trace(self, *, width: int = 72) -> str:
+        """Figure-5-style text timeline of kernels, copies, compiles."""
+        if not self.events:
+            return "(empty trace)"
+        t_end = max(e.end for e in self.events)
+        t_end = t_end or 1.0
+        lanes = {"compile": [], "kernel": [], "copy": []}
+        for event in self.events:
+            lanes.setdefault(event.kind, []).append(event)
+        lines = [f"trace over {format_seconds(t_end)} ({len(self.events)} events)"]
+        glyphs = {"kernel": "#", "copy": "=", "compile": "J"}
+        for kind in ("compile", "kernel", "copy"):
+            events = lanes.get(kind, [])
+            if not events:
+                continue
+            row = [" "] * width
+            for event in events:
+                lo = int(event.start / t_end * (width - 1))
+                hi = max(lo + 1, int(event.end / t_end * (width - 1)) + 1)
+                for pos in range(lo, min(hi, width)):
+                    row[pos] = glyphs[kind]
+            label = {"kernel": "GPU kernels", "copy": "memcpy", "compile": "JIT"}[kind]
+            lines.append(f"{label:>12} |{''.join(row)}|")
+        return "\n".join(lines)

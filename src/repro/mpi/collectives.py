@@ -1,0 +1,277 @@
+"""Collective operations built from point-to-point.
+
+Classic algorithms (the "baselines" a real MPI implements):
+
+- barrier — dissemination (log2 P rounds);
+- bcast / reduce — binomial trees;
+- allreduce — reduce + bcast (and a recursive-doubling variant,
+  ``allreduce_rd``, for power-of-two communicators);
+- gather / scatter — linear at the root;
+- allgather — ring (P-1 rounds);
+- alltoall — pairwise exchange.
+
+Every invocation carries a per-call collective context so concurrent or
+back-to-back collectives never cross-match, and mixing collectives with
+point-to-point traffic is safe.
+
+Reduction operators accept ``"sum" | "min" | "max" | "prod"`` or any
+callable ``op(a, b)``; NumPy arrays reduce elementwise, scalars and
+other objects reduce by the operator directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.util.errors import MPIError
+
+_OPS: dict[str, Callable] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+}
+
+
+def _resolve_op(op) -> Callable:
+    if callable(op):
+        return op
+    try:
+        return _OPS[op]
+    except KeyError:
+        raise MPIError(
+            f"unknown reduction op {op!r}; use one of {sorted(_OPS)} or a callable"
+        ) from None
+
+
+def barrier(comm) -> None:
+    """Dissemination barrier: ceil(log2 P) rounds."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    context = comm._coll_context("barrier")
+    rounds = math.ceil(math.log2(size))
+    for k in range(rounds):
+        distance = 1 << k
+        comm._coll_send((*context, k), None, (rank + distance) % size)
+        comm._coll_recv((*context, k), (rank - distance) % size)
+
+
+def bcast(comm, data: Any = None, root: int = 0) -> Any:
+    """Binomial-tree broadcast; returns the root's data on every rank."""
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise MPIError(f"bcast root {root} outside communicator of size {size}")
+    if size == 1:
+        return data
+    context = comm._coll_context("bcast")
+    relative = (rank - root) % size
+    # phase 1: climb until our lowest set bit — receive from parent
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = ((relative - mask) + root) % size
+            data = comm._coll_recv(context, parent)
+            break
+        mask <<= 1
+    # phase 2: fan out to children below that bit
+    mask >>= 1
+    while mask > 0:
+        child_rel = relative + mask
+        if child_rel < size:
+            comm._coll_send(context, data, (child_rel + root) % size)
+        mask >>= 1
+    return data
+
+
+def reduce(comm, value: Any, op="sum", root: int = 0) -> Any:
+    """Binomial-tree reduction; result lands on ``root`` (None elsewhere)."""
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise MPIError(f"reduce root {root} outside communicator of size {size}")
+    fn = _resolve_op(op)
+    if isinstance(value, np.ndarray):
+        value = value.copy()
+    if size == 1:
+        return value
+    context = comm._coll_context("reduce")
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = ((relative & ~mask) + root) % size
+            comm._coll_send(context, value, parent)
+            break
+        child_rel = relative | mask
+        if child_rel < size:
+            child_value = comm._coll_recv(context, (child_rel + root) % size)
+            # fixed operand order keeps non-commutative callables sane
+            value = fn(value, child_value)
+        mask <<= 1
+    return value if rank == root else None
+
+
+def allreduce(comm, value: Any, op="sum") -> Any:
+    """Reduce-to-root then broadcast (the straightforward baseline)."""
+    result = reduce(comm, value, op, root=0)
+    return bcast(comm, result, root=0)
+
+
+def allreduce_rd(comm, value: Any, op="sum") -> Any:
+    """Recursive-doubling allreduce; requires power-of-two size.
+
+    log2(P) rounds instead of 2 log2(P) — the optimization a real MPI
+    picks for commutative ops on power-of-two communicators.
+    """
+    size, rank = comm.size, comm.rank
+    if size & (size - 1):
+        raise MPIError(f"recursive doubling needs power-of-two size, got {size}")
+    fn = _resolve_op(op)
+    if isinstance(value, np.ndarray):
+        value = value.copy()
+    context = comm._coll_context("allreduce_rd")
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        comm._coll_send((*context, mask), value, partner)
+        other = comm._coll_recv((*context, mask), partner)
+        # apply in a rank-independent operand order so every rank
+        # computes bit-identical results
+        value = fn(value, other) if rank < partner else fn(other, value)
+        mask <<= 1
+    return value
+
+
+def gather(comm, value: Any, root: int = 0):
+    """Linear gather; root receives [rank 0's value, ..., rank P-1's]."""
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise MPIError(f"gather root {root} outside communicator of size {size}")
+    context = comm._coll_context("gather")
+    if rank == root:
+        out = [None] * size
+        out[root] = value
+        for source in range(size):
+            if source != root:
+                out[source] = comm._coll_recv(context, source)
+        return out
+    comm._coll_send(context, value, root)
+    return None
+
+
+def scatter(comm, values, root: int = 0):
+    """Linear scatter of a length-P sequence from root."""
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise MPIError(f"scatter root {root} outside communicator of size {size}")
+    context = comm._coll_context("scatter")
+    if rank == root:
+        if values is None or len(values) != size:
+            raise MPIError(
+                f"scatter at root needs exactly {size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        for dest in range(size):
+            if dest != root:
+                comm._coll_send(context, values[dest], dest)
+        return values[root]
+    return comm._coll_recv(context, root)
+
+
+def allgather(comm, value: Any) -> list:
+    """Ring allgather: P-1 rounds, each rank forwards what it received."""
+    size, rank = comm.size, comm.rank
+    out = [None] * size
+    out[rank] = value
+    if size == 1:
+        return out
+    context = comm._coll_context("allgather")
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry_idx = rank
+    for round_no in range(size - 1):
+        comm._coll_send((*context, round_no), (carry_idx, out[carry_idx]), right)
+        carry_idx, payload = comm._coll_recv((*context, round_no), left)
+        out[carry_idx] = payload
+    return out
+
+
+def scan(comm, value: Any, op="sum") -> Any:
+    """Inclusive prefix reduction: rank r gets op(v_0, ..., v_r).
+
+    Linear chain algorithm: each rank combines its predecessor's prefix
+    and forwards — O(P) latency, bitwise-deterministic operand order.
+    """
+    fn = _resolve_op(op)
+    if isinstance(value, np.ndarray):
+        value = value.copy()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return value
+    context = comm._coll_context("scan")
+    if rank > 0:
+        prefix = comm._coll_recv(context, rank - 1)
+        value = fn(prefix, value)
+    if rank < size - 1:
+        comm._coll_send(context, value, rank + 1)
+    return value
+
+
+def exscan(comm, value: Any, op="sum") -> Any:
+    """Exclusive prefix reduction: rank r gets op(v_0, ..., v_{r-1}).
+
+    Rank 0 receives None (MPI leaves its buffer undefined).
+    """
+    fn = _resolve_op(op)
+    size, rank = comm.size, comm.rank
+    context = comm._coll_context("exscan")
+    prefix = None
+    if rank > 0:
+        prefix = comm._coll_recv(context, rank - 1)
+    if rank < size - 1:
+        forward = value if prefix is None else fn(prefix, value)
+        comm._coll_send(context, forward, rank + 1)
+    return prefix
+
+
+def reduce_scatter(comm, values, op="sum"):
+    """Reduce a length-P sequence elementwise, scatter element r to rank r.
+
+    Baseline algorithm: reduce-to-root of the full sequence, then
+    scatter — the semantics of MPI_Reduce_scatter_block with count 1.
+    """
+    size = comm.size
+    if values is None or len(values) != size:
+        raise MPIError(
+            f"reduce_scatter needs exactly {size} values per rank, got "
+            f"{None if values is None else len(values)}"
+        )
+    fn = _resolve_op(op)
+
+    def merge(a, b):
+        return [fn(x, y) for x, y in zip(a, b)]
+
+    totals = reduce(comm, list(values), merge, root=0)
+    return scatter(comm, totals, root=0)
+
+
+def alltoall(comm, values) -> list:
+    """Pairwise-exchange all-to-all of a length-P sequence."""
+    size, rank = comm.size, comm.rank
+    if values is None or len(values) != size:
+        raise MPIError(
+            f"alltoall needs exactly {size} values per rank, got "
+            f"{None if values is None else len(values)}"
+        )
+    context = comm._coll_context("alltoall")
+    out = [None] * size
+    out[rank] = values[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        source = (rank - step) % size
+        comm._coll_send((*context, step), values[dest], dest)
+        out[source] = comm._coll_recv((*context, step), source)
+    return out

@@ -1,0 +1,62 @@
+"""Nonblocking communication requests (MPI_Request workalike)."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.util.errors import MPIError
+
+
+class Request:
+    """Completion handle for a nonblocking operation.
+
+    ``isend`` requests complete immediately (our sends are buffered, as
+    small/medium MPI sends are in practice); ``irecv`` requests complete
+    when a matching message is delivered. ``wait`` returns the received
+    payload (``None`` for sends); ``test`` polls without blocking.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: BaseException | None = None
+
+    # -- completion (called by the comm layer) --------------------------
+    def _complete(self, result: Any = None) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # -- user API --------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def test(self):
+        """(flag, result): nonblocking completion check."""
+        if not self._event.is_set():
+            return False, None
+        if self._error is not None:
+            raise self._error
+        return True, self._result
+
+    def wait(self, timeout: float | None = None):
+        """Block until complete; returns the payload (None for sends)."""
+        if not self._event.wait(timeout):
+            raise MPIError(
+                f"{self.kind} request timed out after {timeout}s "
+                "(likely deadlock: no matching operation was posted)"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @staticmethod
+    def wait_all(requests: list["Request"], timeout: float | None = None) -> list:
+        """MPI_Waitall: wait on every request, preserving order."""
+        return [r.wait(timeout) for r in requests]

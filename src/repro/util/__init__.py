@@ -1,0 +1,52 @@
+"""Shared utilities: units, RNG streams, timers, tables, errors.
+
+These helpers are deliberately dependency-light; every other subpackage
+builds on them.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    CalibrationError,
+    ConfigError,
+)
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    format_bytes,
+    format_bandwidth,
+    format_seconds,
+    parse_bytes,
+)
+from repro.util.rngs import RngStream, seed_for
+from repro.util.timers import WallTimer, SimClock, Stopwatch
+from repro.util.tables import Table
+
+__all__ = [
+    "ReproError",
+    "CalibrationError",
+    "ConfigError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_bytes",
+    "format_bandwidth",
+    "format_seconds",
+    "parse_bytes",
+    "RngStream",
+    "seed_for",
+    "WallTimer",
+    "SimClock",
+    "Stopwatch",
+    "Table",
+]

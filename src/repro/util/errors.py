@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every subpackage raises subclasses of :class:`ReproError` so callers can
+catch library failures without swallowing unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration: settings files, parameter combinations."""
+
+
+class CalibrationError(ReproError):
+    """A performance-model calibration constant is missing or invalid."""
+
+
+class MPIError(ReproError):
+    """Base class for errors raised by the MPI substrate."""
+
+
+class TruncationError(MPIError):
+    """A received message does not fit in the posted receive buffer.
+
+    Mirrors ``MPI_ERR_TRUNCATE``: the matching message was longer than
+    the receive buffer supplied by the caller.
+    """
+
+
+class DatatypeError(MPIError):
+    """A derived datatype does not describe the supplied buffer."""
+
+
+class CommAbort(MPIError):
+    """The simulated job was aborted (another rank raised)."""
+
+
+class AdiosError(ReproError):
+    """Base class for errors raised by the ADIOS2-workalike I/O layer."""
+
+
+class EngineStateError(AdiosError):
+    """An engine method was called in the wrong state.
+
+    For example ``put`` outside ``begin_step``/``end_step``, or reading
+    from a writer engine.
+    """
+
+
+class VariableError(AdiosError):
+    """A variable definition or selection is inconsistent."""
+
+
+class CorruptFileError(AdiosError):
+    """A BP5 subfile or metadata index failed validation on read."""
+
+
+class GpuError(ReproError):
+    """Base class for errors raised by the GPU simulator."""
+
+
+class LaunchError(GpuError):
+    """Invalid kernel launch configuration (grid/workgroup shape)."""
+
+
+class DeviceMemoryError(GpuError):
+    """Device allocation exceeded the modeled HBM capacity."""

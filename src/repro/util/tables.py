@@ -1,0 +1,70 @@
+"""Minimal monospace table rendering for benchmark reports.
+
+The benchmark harness prints each paper table/figure as rows of text;
+this renderer keeps columns aligned without pulling in a dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass
+class Table:
+    """An aligned text table.
+
+    >>> t = Table(["Kernel", "GB/s"], title="Table 2")
+    >>> t.add_row(["HIP", 1163])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    Table 2
+    ...
+    """
+
+    headers: list[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [self._fmt(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, int):
+            return f"{cell:,}" if abs(cell) >= 1000 else str(cell)
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append("  ".join("-" * w for w in widths))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,111 @@
+"""Wall-clock and simulated-clock timing.
+
+Two distinct notions of time run through the package:
+
+- **Wall time** (:class:`WallTimer`, :class:`Stopwatch`): how long the
+  Python code actually takes. Used by the mini-scale benchmarks.
+- **Simulated time** (:class:`SimClock`): the modeled Frontier time a
+  performance model predicts (kernel durations from the roofline model,
+  message latencies from the network model, write times from the Lustre
+  model). Used by the Frontier-scale experiment reproductions.
+
+Keeping them in separate types prevents the classic modeling bug of
+adding a modeled duration to a measured one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall time in seconds.
+
+    >>> with WallTimer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating named-section wall timer.
+
+    >>> sw = Stopwatch()
+    >>> with sw.section("compute"):
+    ...     pass
+    >>> "compute" in sw.totals
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def section(self, name: str):
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        return self.totals[name] / self.counts[name]
+
+
+class _Section:
+    def __init__(self, stopwatch: Stopwatch, name: str) -> None:
+        self._sw = stopwatch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sw.add(self._name, time.perf_counter() - self._start)
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing *modeled* clock.
+
+    Performance models call :meth:`advance` with modeled durations;
+    :attr:`now` is the modeled timestamp. ``advance_to`` supports
+    max-style synchronization (e.g. a barrier completes at the max of
+    participant arrival times).
+    """
+
+    now: float = 0.0
+
+    def advance(self, seconds: float) -> float:
+        """Advance by a modeled duration; returns the new timestamp."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self.now += seconds
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance to at least ``timestamp`` (no-op if in the past)."""
+        if timestamp > self.now:
+            self.now = timestamp
+        return self.now
+
+    def copy(self) -> "SimClock":
+        return SimClock(self.now)

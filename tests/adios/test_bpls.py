@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.adios.api import Adios
+from repro.adios.bpls import bpls, main
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    adios = Adios()
+    io = adios.declare_io("ls")
+    path = tmp_path / "ls.bp"
+    io.define_attribute("Du", 0.2)
+    io.define_attribute("Dv", 0.1)
+    io.define_attribute("F", 0.02)
+    io.define_attribute("k", 0.048)
+    io.define_attribute("noise", 0.1)
+    io.define_attribute("dt", 1.0)
+    io.define_attribute("visualization_schemas", ["FIDES", "VTX"])
+    u = io.define_variable("U", np.float64, shape=(8, 8, 8), count=(8, 8, 8))
+    step = io.define_variable("step", np.int32)
+    with io.open(path, "w") as engine:
+        for s in range(3):
+            engine.begin_step()
+            engine.put(u, np.full((8, 8, 8), float(s)))
+            engine.put(step, np.int32(s * 10))
+            engine.end_step()
+    return path
+
+
+class TestBpls:
+    def test_listing1_format(self, dataset):
+        """The structure of the paper's Listing 1."""
+        text = bpls(dataset)
+        assert "double" in text
+        assert "Du" in text and "attr = 0.2" in text
+        assert "3*{8, 8, 8}" in text
+        assert "Min/Max 0 / 2" in text
+        assert "int32_t" in text
+        assert "3*scalar = 0 / 20" in text
+        assert "Attribute visualization schemas: FIDES, VTX" in text
+
+    def test_schema_line_suppressible(self, dataset):
+        text = bpls(dataset, show_schema_line=False)
+        assert "visualization schemas" not in text
+
+    def test_columns_aligned(self, dataset):
+        lines = [l for l in bpls(dataset).splitlines() if "attr" in l]
+        starts = {line.index("attr") for line in lines}
+        assert len(starts) == 1
+
+    def test_cli_main(self, dataset, capsys):
+        assert main([str(dataset)]) == 0
+        assert "Du" in capsys.readouterr().out
+
+    def test_cli_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.bp")]) == 1
+        assert "bpls:" in capsys.readouterr().err
+
+    def test_cli_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+class TestBplsExtensions:
+    def test_blocks_listing(self, dataset):
+        from repro.adios.bpls import bpls_blocks
+
+        text = bpls_blocks(dataset, "U")
+        assert "3 blocks" in text
+        assert "subfile data.0" in text
+        assert "min/max" in text
+
+    def test_blocks_unknown_var(self, dataset):
+        from repro.adios.bpls import bpls_blocks
+
+        with pytest.raises(ValueError):
+            bpls_blocks(dataset, "nope")
+
+    def test_dump_array(self, dataset):
+        from repro.adios.bpls import bpls_dump
+
+        text = bpls_dump(dataset, "U", step=2, limit=16)
+        assert "first 16 of 512 values" in text
+        assert "2" in text
+
+    def test_dump_scalar(self, dataset):
+        from repro.adios.bpls import bpls_dump
+
+        assert bpls_dump(dataset, "step") == "  step = 0 10 20"
+
+    def test_cli_attrs_only(self, dataset, capsys):
+        assert main(["-a", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "Du" in out
+        assert "Min/Max" not in out
+
+    def test_cli_blocks(self, dataset, capsys):
+        assert main(["-v", "U", str(dataset)]) == 0
+        assert "blocks" in capsys.readouterr().out
+
+    def test_cli_dump(self, dataset, capsys):
+        assert main(["-d", "step", str(dataset)]) == 0
+        assert "0 10 20" in capsys.readouterr().out

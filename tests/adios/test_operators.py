@@ -1,0 +1,123 @@
+"""Compression operators on BP5 blocks."""
+
+import numpy as np
+import pytest
+
+from repro.adios.api import Adios
+from repro.adios.bp5 import dataset_path, read_index
+from repro.adios.operators import OperatorError, validate_operation
+from repro.util.errors import CorruptFileError
+
+
+def _write(tmp_path, data, *, level=None, steps=1, name="comp.bp"):
+    io = Adios().declare_io("op")
+    shape = data.shape
+    u = io.define_variable("U", np.float64, shape=shape, count=shape)
+    if level is not None:
+        u.add_operation("zlib", {"level": level})
+    path = tmp_path / name
+    with io.open(path, "w") as engine:
+        for s in range(steps):
+            engine.begin_step()
+            engine.put(u, data + s)
+            engine.end_step()
+    return io, path
+
+
+class TestValidateOperation:
+    def test_zlib_ok(self):
+        assert validate_operation("zlib", {"level": 3}) == ("zlib", {"level": 3})
+
+    def test_unknown_codec(self):
+        with pytest.raises(OperatorError, match="unknown codec"):
+            validate_operation("zfp", {})
+
+    @pytest.mark.parametrize("level", [0, 10, "high", 2.5])
+    def test_bad_level(self, level):
+        with pytest.raises(OperatorError):
+            validate_operation("zlib", {"level": level})
+
+    def test_unknown_params(self):
+        with pytest.raises(OperatorError, match="unknown zlib parameters"):
+            validate_operation("zlib", {"window": 15})
+
+
+class TestCompressedRoundTrip:
+    def test_bitwise_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = np.asfortranarray(rng.random((12, 12, 12)))
+        io, path = _write(tmp_path, data, level=6, steps=3)
+        reader = io.open(path, "r")
+        for s in range(3):
+            assert np.array_equal(reader.read("U", step=s), data + s)
+
+    def test_compressible_data_shrinks(self, tmp_path):
+        data = np.zeros((32, 32, 32), order="F")  # maximally compressible
+        io, path = _write(tmp_path, data, level=6)
+        index = read_index(path)
+        block = index.blocks_for("U", 0)[0]
+        assert block.codec == "zlib"
+        assert block.raw_nbytes == 32**3 * 8
+        assert block.nbytes < block.raw_nbytes / 10
+        # subfile really is small
+        assert (dataset_path(path) / "data.0").stat().st_size == block.nbytes
+
+    def test_uncompressed_blocks_unchanged(self, tmp_path):
+        data = np.ones((8, 8, 8), order="F")
+        io, path = _write(tmp_path, data)  # no operation
+        block = read_index(path).blocks_for("U", 0)[0]
+        assert block.codec is None
+        assert block.nbytes == 8**3 * 8
+
+    def test_selection_on_compressed(self, tmp_path):
+        rng = np.random.default_rng(1)
+        data = np.asfortranarray(rng.random((10, 10, 10)))
+        io, path = _write(tmp_path, data, level=1)
+        reader = io.open(path, "r")
+        sel = reader.read("U", step=0, start=(2, 3, 4), count=(3, 3, 3))
+        assert np.array_equal(sel, np.asfortranarray(data[2:5, 3:6, 4:7]))
+
+    def test_minmax_from_uncompressed_values(self, tmp_path):
+        data = np.asfortranarray(np.linspace(0, 1, 8**3).reshape(8, 8, 8))
+        io, path = _write(tmp_path, data, level=6)
+        reader = io.open(path, "r")
+        assert reader.minmax("U") == (0.0, 1.0)
+
+    def test_corrupt_compressed_stream_detected(self, tmp_path):
+        data = np.asfortranarray(np.random.default_rng(2).random((8, 8, 8)))
+        io, path = _write(tmp_path, data, level=6)
+        subfile = dataset_path(path) / "data.0"
+        raw = bytearray(subfile.read_bytes())
+        raw[5] ^= 0xFF
+        subfile.write_bytes(bytes(raw))
+        reader = io.open(path, "r")
+        # the CRC over the compressed stream catches it first
+        with pytest.raises(CorruptFileError):
+            reader.read("U", step=0)
+
+    def test_parallel_compressed_write(self, tmp_path):
+        from repro.mpi.executor import run_spmd
+
+        path = tmp_path / "par.bp"
+        n = 6
+        shape = (n, n, n * 4)
+
+        def worker(comm):
+            adios = Adios()
+            io = adios.declare_io("pc")
+            u = io.define_variable(
+                "U", np.float64, shape=shape,
+                start=(0, 0, n * comm.rank), count=(n, n, n),
+            )
+            u.add_operation("zlib", {"level": 4})
+            with io.open(str(path), "w", comm=comm) as engine:
+                engine.begin_step()
+                engine.put(u, np.full((n, n, n), float(comm.rank), order="F"))
+                engine.end_step()
+            return True
+
+        run_spmd(worker, 4, timeout=60)
+        reader = Adios().declare_io("r").open(path, "r")
+        full = reader.read("U", step=0)
+        for rank in range(4):
+            assert (full[:, :, n * rank: n * (rank + 1)] == rank).all()

@@ -1,0 +1,236 @@
+"""Streaming (SST-like) engine tests: the paper's future-work pipeline."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.adios.api import Adios
+from repro.adios.sst import (
+    END_OF_STREAM,
+    OK,
+    TIMEOUT,
+    SstBroker,
+    SSTReader,
+    SSTWriter,
+    StreamError,
+)
+from repro.mpi.executor import run_spmd
+from repro.util.errors import EngineStateError, VariableError
+
+
+@pytest.fixture(autouse=True)
+def clean_broker():
+    SstBroker.reset()
+    yield
+    SstBroker.reset()
+
+
+def _writer_io(name="w"):
+    io = Adios().declare_io(name)
+    io.set_engine("SST")
+    return io
+
+
+def _stream_steps(stream_name, steps, shape=(4, 4, 4)):
+    """Producer thread body: stream `steps` steps then close."""
+    io = _writer_io()
+    u = io.define_variable("U", np.float64, shape=shape, count=shape)
+    io.define_attribute("Du", 0.2)
+    with io.open(stream_name, "w") as writer:
+        for s in range(steps):
+            writer.begin_step()
+            writer.put(u, np.full(shape, float(s), order="F"))
+            writer.end_step()
+
+
+class TestSerialStreaming:
+    def test_producer_consumer_steps(self):
+        producer = threading.Thread(target=_stream_steps, args=("s1", 3), daemon=True)
+        producer.start()
+
+        io = Adios().declare_io("r")
+        io.set_engine("SST")
+        reader = io.open("s1", "r")
+        seen = []
+        while reader.begin_step() == OK:
+            seen.append(float(reader.get("U")[0, 0, 0]))
+            assert reader.attributes["Du"] == 0.2
+            reader.end_step()
+        producer.join(10)
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_end_of_stream_sticky(self):
+        producer = threading.Thread(target=_stream_steps, args=("s2", 1), daemon=True)
+        producer.start()
+        reader = SSTReader(None, "s2")
+        assert reader.begin_step() == OK
+        reader.end_step()
+        assert reader.begin_step() == END_OF_STREAM
+        assert reader.begin_step() == END_OF_STREAM
+        producer.join(10)
+
+    def test_backpressure_blocks_fast_producer(self):
+        io = _writer_io()
+        u = io.define_variable("U", np.float64, shape=(2, 2, 2), count=(2, 2, 2))
+        io.set_parameter("QueueLimit", 2)
+        writer = io.open("s3", "w")
+        progress = []
+
+        def produce():
+            for s in range(5):
+                writer.begin_step()
+                writer.put(u, np.zeros((2, 2, 2)))
+                writer.end_step()
+                progress.append(s)
+            writer.close()
+
+        thread = threading.Thread(target=produce, daemon=True)
+        thread.start()
+        thread.join(0.5)
+        assert thread.is_alive()  # stuck at the queue limit
+        assert len(progress) == 2
+
+        reader = SSTReader(None, "s3")
+        drained = 0
+        while reader.begin_step(timeout=5) == OK:
+            reader.end_step()
+            drained += 1
+        thread.join(10)
+        assert drained == 5
+        assert progress == list(range(5))
+
+    def test_timeout_status(self):
+        io = _writer_io()
+        io.define_variable("U", np.float64, shape=(2, 2, 2), count=(2, 2, 2))
+        writer = io.open("s4", "w")  # opens the stream, sends nothing
+        reader = SSTReader(None, "s4")
+        assert reader.begin_step(timeout=0.1) == TIMEOUT
+        writer.close()
+        assert reader.begin_step(timeout=5) == END_OF_STREAM
+
+    def test_scalars_stream(self):
+        def produce():
+            io = _writer_io()
+            step_var = io.define_variable("step", np.int32)
+            with io.open("s5", "w") as writer:
+                writer.begin_step()
+                writer.put(step_var, np.int32(40))
+                writer.end_step()
+
+        thread = threading.Thread(target=produce, daemon=True)
+        thread.start()
+        reader = SSTReader(None, "s5")
+        assert reader.begin_step() == OK
+        assert reader.get_scalar("step") == 40
+        with pytest.raises(VariableError):
+            reader.get("step")
+        reader.end_step()
+        thread.join(10)
+
+    def test_selection_on_stream(self):
+        def produce():
+            io = _writer_io()
+            shape = (6, 6, 6)
+            u = io.define_variable("U", np.float64, shape=shape, count=shape)
+            data = np.arange(216, dtype=np.float64).reshape(shape, order="F")
+            with io.open("s6", "w") as writer:
+                writer.begin_step()
+                writer.put(u, data)
+                writer.end_step()
+
+        thread = threading.Thread(target=produce, daemon=True)
+        thread.start()
+        reader = SSTReader(None, "s6")
+        assert reader.begin_step() == OK
+        sel = reader.get("U", start=(1, 2, 3), count=(2, 2, 2))
+        full = reader.get("U")
+        assert np.array_equal(sel, full[1:3, 2:4, 3:5])
+        assert reader.available_variables() == {"U": (6, 6, 6)}
+        reader.end_step()
+        thread.join(10)
+
+
+class TestStreamingErrors:
+    def test_connect_timeout(self):
+        with pytest.raises(StreamError, match="no writer"):
+            SSTReader(None, "nobody", connect_timeout=0.1)
+
+    def test_duplicate_stream_name(self):
+        io = _writer_io()
+        io.define_variable("U", np.float64, shape=(2, 2, 2), count=(2, 2, 2))
+        io.open("dup", "w")
+        io2 = _writer_io("w2")
+        with pytest.raises(StreamError, match="already being written"):
+            io2.open("dup", "w")
+
+    def test_engine_state_errors(self):
+        io = _writer_io()
+        io.define_variable("U", np.float64, shape=(2, 2, 2), count=(2, 2, 2))
+        writer = io.open("st", "w")
+        with pytest.raises(EngineStateError):
+            writer.put("U", np.zeros((2, 2, 2)))
+        writer.begin_step()
+        with pytest.raises(EngineStateError):
+            writer.begin_step()
+        with pytest.raises(EngineStateError):
+            writer.close()
+
+    def test_get_outside_step(self):
+        io = _writer_io()
+        io.define_variable("U", np.float64, shape=(2, 2, 2), count=(2, 2, 2))
+        writer = io.open("st2", "w")
+        reader = SSTReader(None, "st2")
+        with pytest.raises(EngineStateError):
+            reader.get("U")
+        writer.close()
+
+    def test_sst_append_rejected(self):
+        io = _writer_io()
+        with pytest.raises(EngineStateError, match="SST supports"):
+            io.open("x", "a")
+
+
+class TestParallelStreaming:
+    def test_multi_rank_writer_single_reader(self):
+        """4 writer ranks stream blocks; the reader assembles globals."""
+        shape = (4, 4, 16)
+        results = {}
+
+        def consume():
+            reader = SSTReader(None, "par-stream")
+            frames = []
+            while reader.begin_step(timeout=30) == OK:
+                frames.append(reader.get("U"))
+                reader.end_step()
+            results["frames"] = frames
+
+        consumer = threading.Thread(target=consume, daemon=True)
+
+        def worker(comm):
+            if comm.rank == 0:
+                # the reader connects after rank 0 opened the stream
+                pass
+            adios = Adios()
+            io = adios.declare_io("p")
+            io.set_engine("SST")
+            u = io.define_variable(
+                "U", np.float64, shape=shape,
+                start=(0, 0, 4 * comm.rank), count=(4, 4, 4),
+            )
+            with io.open("par-stream", "w", comm=comm) as writer:
+                if comm.rank == 0:
+                    consumer.start()
+                for s in range(2):
+                    writer.begin_step()
+                    writer.put(u, np.full((4, 4, 4), float(comm.rank + 10 * s), order="F"))
+                    writer.end_step()
+            return True
+
+        run_spmd(worker, 4, timeout=60)
+        consumer.join(30)
+        frames = results["frames"]
+        assert len(frames) == 2
+        for s, frame in enumerate(frames):
+            for rank in range(4):
+                assert (frame[:, :, 4 * rank: 4 * rank + 4] == rank + 10 * s).all()

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_datasets, field_delta, render_comparison
+from repro.core.settings import GrayScottSettings
+from repro.core.workflow import Workflow
+from repro.util.errors import ReproError
+
+
+class TestFieldDelta:
+    def test_identical(self):
+        a = np.random.default_rng(0).random((4, 4))
+        d = field_delta(a, a.copy())
+        assert d.identical
+        assert d.max_abs == 0.0 and d.rms == 0.0
+        assert d.psnr_db == float("inf")
+
+    def test_known_difference(self):
+        a = np.zeros((10,))
+        b = np.full((10,), 0.5)
+        d = field_delta(a, b)
+        assert d.max_abs == 0.5
+        assert d.rms == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            field_delta(np.zeros(3), np.zeros(4))
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((16, 16))
+        small = field_delta(a, a + 1e-6 * rng.standard_normal(a.shape))
+        large = field_delta(a, a + 1e-2 * rng.standard_normal(a.shape))
+        assert small.psnr_db > large.psnr_db
+
+
+class TestCompareDatasets:
+    def _run(self, tmp_path, name, **overrides):
+        settings = GrayScottSettings(
+            L=12, steps=6, plotgap=3, noise=0.02,
+            output=str(tmp_path / f"{name}.bp"), **overrides,
+        )
+        Workflow(settings).run(analyze=False)
+        return settings.output
+
+    def test_same_seed_identical(self, tmp_path):
+        a = self._run(tmp_path, "a")
+        b = self._run(tmp_path, "b")
+        deltas = compare_datasets(a, b)
+        assert all(d.identical for d in deltas)
+        assert "bitwise identical" in render_comparison(deltas)
+
+    def test_gpu_backend_identical_to_cpu(self, tmp_path):
+        a = self._run(tmp_path, "cpu")
+        b = self._run(tmp_path, "gpu", backend="julia")
+        assert all(d.identical for d in compare_datasets(a, b))
+
+    def test_different_seed_differs(self, tmp_path):
+        a = self._run(tmp_path, "s1", seed=1)
+        b = self._run(tmp_path, "s2", seed=2)
+        deltas = compare_datasets(a, b)
+        assert any(not d.identical for d in deltas)
+        assert "max deviation" in render_comparison(deltas)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        a = self._run(tmp_path, "small")
+        big = GrayScottSettings(
+            L=16, steps=6, plotgap=3, output=str(tmp_path / "big.bp")
+        )
+        Workflow(big).run(analyze=False)
+        with pytest.raises(ReproError, match="shapes differ"):
+            compare_datasets(a, big.output)
+
+    def test_step_count_mismatch_rejected(self, tmp_path):
+        a = self._run(tmp_path, "long")
+        short = GrayScottSettings(
+            L=12, steps=3, plotgap=3, output=str(tmp_path / "short.bp")
+        )
+        Workflow(short).run(analyze=False)
+        with pytest.raises(ReproError, match="step counts"):
+            compare_datasets(a, short.output)

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.analysis.reader import GrayScottDataset
+from repro.core.settings import GrayScottSettings
+from repro.core.workflow import Workflow
+from repro.util.errors import VariableError
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("ds")
+    settings = GrayScottSettings(
+        L=12, steps=8, plotgap=4, noise=0.05, output=str(tmp / "gs.bp")
+    )
+    Workflow(settings).run(analyze=False)
+    return settings
+
+
+class TestGrayScottDataset:
+    def test_inventory(self, dataset):
+        ds = GrayScottDataset(dataset.output)
+        assert ds.shape == (12, 12, 12)
+        assert ds.steps == [0, 1, 2]
+        assert ds.sim_steps() == [0, 4, 8]
+        assert ds.attributes["k"] == dataset.k
+
+    def test_field_default_last_step(self, dataset):
+        ds = GrayScottDataset(dataset.output)
+        last = ds.field("U")
+        explicit = ds.field("U", step=2)
+        assert np.array_equal(last, explicit)
+
+    def test_slice2d_matches_full_read(self, dataset):
+        ds = GrayScottDataset(dataset.output)
+        full = ds.field("V", step=1)
+        plane = ds.slice2d("V", step=1, axis=2, index=6)
+        assert np.array_equal(plane, full[:, :, 6])
+
+    def test_slice2d_default_center(self, dataset):
+        ds = GrayScottDataset(dataset.output)
+        assert np.array_equal(
+            ds.slice2d("V", axis=0), ds.field("V")[6, :, :]
+        )
+
+    def test_minmax_no_data_read(self, dataset):
+        ds = GrayScottDataset(dataset.output)
+        lo, hi = ds.minmax("U")
+        assert lo <= 0.25 and hi >= 1.0
+
+    def test_summary(self, dataset):
+        ds = GrayScottDataset(dataset.output)
+        s = ds.summary()
+        assert set(s) == {"U", "V"}
+        assert s["V"]["max"] > 0
+
+    def test_unknown_field(self, dataset):
+        ds = GrayScottDataset(dataset.output)
+        with pytest.raises(VariableError):
+            ds.field("W")
+
+    def test_not_a_grayscott_dataset(self, tmp_path):
+        from repro.adios.api import Adios
+
+        io = Adios().declare_io("other")
+        x = io.define_variable("X", np.float64, shape=(4, 4, 4), count=(4, 4, 4))
+        with io.open(tmp_path / "o.bp", "w") as engine:
+            engine.begin_step()
+            engine.put(x, np.zeros((4, 4, 4)))
+            engine.end_step()
+        with pytest.raises(VariableError, match="not a Gray-Scott dataset"):
+            GrayScottDataset(tmp_path / "o.bp")

@@ -1,0 +1,48 @@
+import numpy as np
+import pytest
+
+from repro.analysis.render import RAMP, ascii_heatmap
+from repro.util.errors import ReproError
+
+
+class TestAsciiHeatmap:
+    def test_gradient_renders_ramp(self):
+        plane = np.linspace(0, 1, 64)[None, :] * np.ones((32, 1))
+        text = ascii_heatmap(plane, width=32)
+        rows = text.splitlines()
+        # first body row goes dark -> bright left to right
+        body = rows[0]
+        assert body[0] == RAMP[0]
+        assert body[-1] == RAMP[-1]
+
+    def test_title_and_scale(self):
+        plane = np.zeros((8, 8))
+        text = ascii_heatmap(plane, title="V slice")
+        assert text.splitlines()[0] == "V slice"
+        assert "scale:" in text
+
+    def test_constant_field(self):
+        text = ascii_heatmap(np.full((8, 8), 3.0), width=8)
+        body_rows = [r for r in text.splitlines() if not r.startswith("scale")]
+        assert all(set(r) <= {RAMP[0]} for r in body_rows)
+
+    def test_fixed_value_range_clips(self):
+        plane = np.array([[10.0, -10.0]])
+        text = ascii_heatmap(plane, width=2, value_range=(0.0, 1.0))
+        body = text.splitlines()[0]
+        assert body[0] == RAMP[-1] and body[1] == RAMP[0]
+
+    def test_downsampling(self):
+        plane = np.random.default_rng(0).random((128, 128))
+        text = ascii_heatmap(plane, width=16)
+        body_rows = [r for r in text.splitlines() if not r.startswith("scale")]
+        assert all(len(r) == 16 for r in body_rows)
+        assert len(body_rows) == 8
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_heatmap(np.zeros((4, 4, 4)))
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_heatmap(np.zeros((4, 4)), width=1)

@@ -1,0 +1,73 @@
+import json
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.settings import GrayScottSettings
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def base(tmp_path):
+    return GrayScottSettings(L=12, steps=6, plotgap=3, noise=0.02)
+
+
+class TestCampaign:
+    def test_variants_inherit_base(self, base, tmp_path):
+        campaign = Campaign(base, workdir=tmp_path)
+        settings = campaign.add("hot", F=0.03)
+        assert settings.F == 0.03
+        assert settings.L == base.L
+        assert settings.output == str(tmp_path / "hot.bp")
+
+    def test_explicit_output_preserved(self, base, tmp_path):
+        campaign = Campaign(base, workdir=tmp_path)
+        s = campaign.add("x", output=str(tmp_path / "custom.bp"))
+        assert s.output.endswith("custom.bp")
+
+    def test_duplicate_variant_rejected(self, base, tmp_path):
+        campaign = Campaign(base, workdir=tmp_path)
+        campaign.add("a")
+        with pytest.raises(ConfigError):
+            campaign.add("a")
+
+    def test_bad_name_rejected(self, base, tmp_path):
+        campaign = Campaign(base, workdir=tmp_path)
+        with pytest.raises(ConfigError):
+            campaign.add("")
+        with pytest.raises(ConfigError):
+            campaign.add("a/b")
+
+    def test_empty_campaign_rejected(self, base, tmp_path):
+        with pytest.raises(ConfigError, match="no variants"):
+            Campaign(base, workdir=tmp_path).run()
+
+    def test_run_collects_reports(self, base, tmp_path):
+        campaign = Campaign(base, workdir=tmp_path)
+        campaign.add("one", F=0.02)
+        campaign.add("two", F=0.025)
+        result = campaign.run()
+        assert set(result.reports) == {"one", "two"}
+        assert all(r.steps_run == 6 for r in result.reports.values())
+        # each run wrote its own dataset
+        assert (tmp_path / "one.bp").exists()
+        assert (tmp_path / "two.bp").exists()
+
+    def test_render_and_provenance(self, base, tmp_path):
+        campaign = Campaign(base, workdir=tmp_path)
+        campaign.add("solo")
+        result = campaign.run()
+        text = result.render()
+        assert "Campaign: 1 runs" in text
+        assert "solo" in text
+
+        target = tmp_path / "prov.json"
+        result.save_provenance(target)
+        prov = json.loads(target.read_text())
+        assert prov["campaign"]["solo"]["workflow"] == "gray-scott"
+
+    def test_analyze_false_skips_analysis(self, base, tmp_path):
+        campaign = Campaign(base, workdir=tmp_path)
+        campaign.add("raw")
+        result = campaign.run(analyze=False)
+        assert result.reports["raw"].analysis == {}

@@ -1,0 +1,161 @@
+import numpy as np
+import pytest
+
+from repro.core.domain import LocalDomain, serial_wrap_ghosts
+from repro.core.exchange import exchange_ghosts
+from repro.mpi.executor import run_spmd
+
+
+def _global_field(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.asfortranarray(rng.random(shape))
+
+
+def _parallel_exchange(global_shape, dims, nranks, seed=0):
+    """Run one ghost exchange; each rank returns its full ghosted field."""
+    reference = _global_field(global_shape, seed)
+
+    def worker(comm):
+        cart = comm.create_cart(dims, periods=(True,) * 3)
+        domain = LocalDomain.for_coords(global_shape, dims, cart.coords())
+        field = domain.allocate_field()
+        domain.interior(field)[...] = reference[domain.global_slices()]
+        exchange_ghosts(cart, field, domain.face_specs())
+        return domain, field
+
+    return reference, run_spmd(worker, nranks, timeout=60)
+
+
+@pytest.mark.parametrize(
+    "dims,nranks",
+    [((2, 1, 1), 2), ((1, 2, 1), 2), ((1, 1, 2), 2), ((2, 2, 2), 8), ((1, 2, 4), 8)],
+)
+class TestExchangeCorrectness:
+    def test_ghosts_match_periodic_neighbors(self, dims, nranks):
+        shape = (8, 8, 8)
+        reference, results = _parallel_exchange(shape, dims, nranks)
+        padded = np.pad(reference, 1, mode="wrap")
+        for domain, field in results:
+            s = domain.start
+            c = domain.count
+            expected = np.asfortranarray(
+                padded[s[0]: s[0] + c[0] + 2,
+                       s[1]: s[1] + c[1] + 2,
+                       s[2]: s[2] + c[2] + 2]
+            )
+            # faces (not edges/corners) must match after one exchange;
+            # our full-extent face exchange also fixes edges and corners
+            assert np.array_equal(field, expected), (domain.coords,)
+
+
+class TestExchangeSpecialCases:
+    def test_single_rank_parallel_matches_serial_wrap(self):
+        shape = (6, 6, 6)
+        reference = _global_field(shape, 3)
+
+        def worker(comm):
+            cart = comm.create_cart((1, 1, 1), periods=(True,) * 3)
+            domain = LocalDomain.for_coords(shape, (1, 1, 1), cart.coords())
+            field = domain.allocate_field()
+            domain.interior(field)[...] = reference
+            exchange_ghosts(cart, field, domain.face_specs())
+            return field
+
+        parallel_field = run_spmd(worker, 1, timeout=30)[0]
+
+        serial_field = np.zeros((8, 8, 8), order="F")
+        serial_field[1:-1, 1:-1, 1:-1] = reference
+        serial_wrap_ghosts(serial_field)
+        # faces must agree (serial wrap handles faces; corners too by
+        # sequential per-axis copies)
+        assert np.array_equal(parallel_field, serial_field)
+
+    def test_two_rank_axis_both_neighbors_same_peer(self):
+        """dims=2 along one axis: both shifts point at the same rank."""
+        shape = (8, 8, 8)
+        reference, results = _parallel_exchange(shape, (2, 1, 1), 2, seed=5)
+        domain, field = results[0]
+        # low ghost of rank 0 must be rank 1's high interior layer
+        assert np.array_equal(
+            field[0, 1:-1, 1:-1], reference[7, :, :]
+        )
+        assert np.array_equal(
+            field[-1, 1:-1, 1:-1], reference[4, :, :]
+        )
+
+    def test_uneven_blocks(self):
+        shape = (10, 8, 8)
+        reference, results = _parallel_exchange(shape, (2, 1, 1), 2, seed=9)
+        padded = np.pad(reference, 1, mode="wrap")
+        for domain, field in results:
+            s, c = domain.start, domain.count
+            expected = np.asfortranarray(
+                padded[s[0]: s[0] + c[0] + 2,
+                       s[1]: s[1] + c[1] + 2,
+                       s[2]: s[2] + c[2] + 2]
+            )
+            assert np.array_equal(field, expected)
+
+
+class TestNonblockingExchange:
+    def test_faces_match_blocking_variant(self):
+        """Face ghosts agree with the blocking exchange; the Gray-Scott
+        stencil never reads the edge/corner ghosts where they differ."""
+        from repro.core.exchange import exchange_ghosts_nonblocking
+
+        shape = (8, 8, 8)
+        dims, nranks = (2, 2, 2), 8
+        reference = _global_field(shape, seed=11)
+
+        def worker(comm):
+            cart = comm.create_cart(dims, periods=(True,) * 3)
+            domain = LocalDomain.for_coords(shape, dims, cart.coords())
+            blocking = domain.allocate_field()
+            overlapped = domain.allocate_field()
+            for field in (blocking, overlapped):
+                domain.interior(field)[...] = reference[domain.global_slices()]
+            specs = domain.face_specs()
+            exchange_ghosts(cart, blocking, specs)
+            exchange_ghosts_nonblocking(cart, overlapped, specs)
+            # compare face ghosts only (strip the 12 edges + 8 corners)
+            m = blocking.shape
+            same = True
+            same &= np.array_equal(blocking[0, 1:-1, 1:-1], overlapped[0, 1:-1, 1:-1])
+            same &= np.array_equal(blocking[-1, 1:-1, 1:-1], overlapped[-1, 1:-1, 1:-1])
+            same &= np.array_equal(blocking[1:-1, 0, 1:-1], overlapped[1:-1, 0, 1:-1])
+            same &= np.array_equal(blocking[1:-1, -1, 1:-1], overlapped[1:-1, -1, 1:-1])
+            same &= np.array_equal(blocking[1:-1, 1:-1, 0], overlapped[1:-1, 1:-1, 0])
+            same &= np.array_equal(blocking[1:-1, 1:-1, -1], overlapped[1:-1, 1:-1, -1])
+            return same
+
+        assert all(run_spmd(worker, nranks, timeout=60))
+
+    def test_simulation_correct_with_nonblocking_faces(self):
+        """A solver stepping with the overlapped exchange matches the
+        serial solution bitwise (the kernel only reads face ghosts)."""
+        from repro.core.exchange import exchange_ghosts_nonblocking
+        from repro.core.settings import GrayScottSettings
+        from repro.core.simulation import Simulation
+
+        settings = GrayScottSettings(L=12, steps=0, noise=0.05)
+        serial = Simulation(settings)
+        serial.run(5)
+        expected = serial.gather_global("u")
+
+        def worker(comm):
+            sim = Simulation(settings, comm)
+
+            def overlapped_exchange():
+                if sim.device is not None:
+                    sim._record_face_staging("D2H")
+                exchange_ghosts_nonblocking(sim.cart, sim.u, sim.face_specs)
+                exchange_ghosts_nonblocking(sim.cart, sim.v, sim.face_specs)
+                if sim.device is not None:
+                    sim._record_face_staging("H2D")
+
+            sim.exchange = overlapped_exchange  # swap the strategy
+            sim.run(5)
+            return sim.gather_global("u")
+
+        got = run_spmd(worker, 8, timeout=120)[0]
+        assert np.array_equal(expected, got)

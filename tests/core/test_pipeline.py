@@ -1,0 +1,117 @@
+import pytest
+
+from repro.core.pipeline import Pipeline, PipelineError
+from repro.util.errors import ConfigError
+
+
+class TestPipelineConstruction:
+    def test_deps_must_exist(self):
+        pipe = Pipeline("p")
+        with pytest.raises(ConfigError, match="undefined stage"):
+            pipe.stage("b", lambda: 1, deps=("a",))
+
+    def test_duplicate_stage_rejected(self):
+        pipe = Pipeline("p").stage("a", lambda: 1)
+        with pytest.raises(ConfigError):
+            pipe.stage("a", lambda: 2)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigError):
+            Pipeline("p").stage("a", 42)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigError):
+            Pipeline("p").run()
+
+
+class TestPipelineExecution:
+    def test_values_flow_through_deps(self):
+        pipe = (
+            Pipeline("flow")
+            .stage("one", lambda: 1)
+            .stage("two", lambda: 2)
+            .stage("sum", lambda a, b: a + b, deps=("one", "two"))
+            .stage("double", lambda s: s * 2, deps=("sum",))
+        )
+        run = pipe.run()
+        assert run.ok
+        assert run.value("double") == 6
+
+    def test_timing_recorded(self):
+        run = Pipeline("t").stage("a", lambda: sum(range(100))).run()
+        assert run.results["a"].seconds >= 0.0
+
+    def test_failure_skips_dependents_only(self):
+        calls = []
+
+        def boom():
+            raise ValueError("nope")
+
+        pipe = (
+            Pipeline("f")
+            .stage("bad", boom)
+            .stage("child", lambda x: x, deps=("bad",))
+            .stage("independent", lambda: calls.append("ran") or 7)
+        )
+        run = pipe.run()
+        assert not run.ok
+        assert run.results["bad"].status == "failed"
+        assert "ValueError" in run.results["bad"].error
+        assert run.results["child"].status == "skipped"
+        assert run.results["independent"].status == "ok"
+        assert calls == ["ran"]
+
+    def test_value_of_failed_stage_raises(self):
+        run = Pipeline("f").stage("bad", lambda: 1 / 0).run()
+        with pytest.raises(PipelineError):
+            run.value("bad")
+
+    def test_raise_on_failure(self):
+        pipe = Pipeline("f").stage("bad", lambda: 1 / 0)
+        with pytest.raises(PipelineError, match="bad"):
+            pipe.run(raise_on_failure=True)
+
+    def test_render_and_provenance(self):
+        run = Pipeline("r").stage("a", lambda: 1).run()
+        assert "pipeline run" in run.render()
+        prov = run.provenance()
+        assert prov["stages"]["a"]["status"] == "ok"
+
+
+class TestPipelineWorkflowIntegration:
+    def test_simulate_write_analyze_image_dag(self, tmp_path):
+        """Figure 1 end-to-end as a DAG: the real components."""
+        from repro import GrayScottSettings, Workflow
+        from repro.analysis.imageio import snapshot_dataset
+        from repro.analysis.reader import GrayScottDataset
+        from repro.analysis.stats import classify_pattern
+
+        settings = GrayScottSettings(
+            L=12, steps=6, plotgap=3, noise=0.02,
+            output=str(tmp_path / "dag.bp"),
+        )
+
+        def simulate():
+            return Workflow(settings).run(analyze=False).dataset
+
+        def open_dataset(dataset):
+            return GrayScottDataset(dataset)
+
+        def classify(ds):
+            return classify_pattern(ds.slice2d("V", axis=2))
+
+        def images(ds):
+            return snapshot_dataset(ds, tmp_path / "frames", color=False)
+
+        run = (
+            Pipeline("gray-scott")
+            .stage("simulate", simulate)
+            .stage("open", open_dataset, deps=("simulate",))
+            .stage("classify", classify, deps=("open",))
+            .stage("images", images, deps=("open",))
+            .run()
+        )
+        assert run.ok
+        assert run.value("classify") in ("blob", "spots", "labyrinth",
+                                         "uniform", "decayed")
+        assert len(run.value("images")) == 3

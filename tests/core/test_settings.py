@@ -1,0 +1,76 @@
+import pytest
+
+from repro.core.settings import GrayScottSettings
+from repro.util.errors import ConfigError
+
+
+class TestSettings:
+    def test_defaults_valid(self):
+        s = GrayScottSettings()
+        assert s.shape == (64, 64, 64)
+        assert s.params().F == 0.02
+
+    def test_json_roundtrip(self):
+        s = GrayScottSettings(L=128, steps=500, backend="julia", output="x.bp")
+        back = GrayScottSettings.from_json(s.to_json())
+        assert back == s
+
+    def test_save_load(self, tmp_path):
+        s = GrayScottSettings(L=32, noise=0.05)
+        path = tmp_path / "settings.json"
+        s.save(path)
+        assert GrayScottSettings.load(path) == s
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            GrayScottSettings.load(tmp_path / "nope.json")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown settings keys"):
+            GrayScottSettings.from_json('{"L": 32, "typo_key": 1}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            GrayScottSettings.from_json("{bad")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError, match="must be an object"):
+            GrayScottSettings.from_json("[1, 2]")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"L": 2},
+            {"steps": -1},
+            {"plotgap": 0},
+            {"precision": "float16"},
+            {"backend": "cuda"},
+            {"nx": 2},
+            {"checkpoint": "c.bp", "checkpoint_freq": 0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            GrayScottSettings(**kwargs)
+
+    def test_physics_validated_at_load(self):
+        with pytest.raises(ConfigError, match="unstable"):
+            GrayScottSettings(Du=0.9, dt=2.0)
+
+    def test_non_cubic_shape(self):
+        s = GrayScottSettings(L=16, nz=64)
+        assert s.shape == (16, 16, 64)
+
+    def test_with_overrides(self):
+        s = GrayScottSettings().with_overrides(steps=7)
+        assert s.steps == 7
+
+    def test_artifact_style_settings_file(self):
+        """The GrayScott.jl settings-files.json key style loads."""
+        text = """{
+            "L": 64, "Du": 0.2, "Dv": 0.1, "F": 0.01, "k": 0.05,
+            "dt": 2.0, "plotgap": 10, "steps": 100, "noise": 0.01,
+            "output": "gs-64.bp", "checkpoint": ""
+        }"""
+        s = GrayScottSettings.from_json(text)
+        assert s.L == 64 and s.output == "gs-64.bp"

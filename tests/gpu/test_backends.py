@@ -1,0 +1,56 @@
+import pytest
+
+from repro.bench import calibration as cal
+from repro.gpu.backends import (
+    BackendProfile,
+    HIP_BACKEND,
+    JULIA_BACKEND,
+    get_backend,
+)
+from repro.util.errors import GpuError
+
+
+class TestBackendProfiles:
+    def test_table3_codegen_rows(self):
+        """wgr/lds/scr exactly as Table 3 reports."""
+        assert HIP_BACKEND.workgroup_size == 256
+        assert JULIA_BACKEND.workgroup_size == 512
+        assert HIP_BACKEND.lds_bytes == 0 and HIP_BACKEND.scratch_bytes == 0
+        assert JULIA_BACKEND.lds_bytes == 29_184
+        assert JULIA_BACKEND.scratch_bytes == 8_192
+
+    def test_efficiency_gap(self):
+        """The ~50% Julia-vs-HIP bandwidth finding."""
+        ratio = JULIA_BACKEND.codegen_efficiency / HIP_BACKEND.codegen_efficiency
+        assert 0.4 < ratio < 0.65
+
+    def test_rand_penalty_multiplies(self):
+        eff = JULIA_BACKEND.effective_efficiency(uses_rand=True)
+        assert eff == pytest.approx(
+            JULIA_BACKEND.codegen_efficiency * cal.JULIA_RAND_PENALTY
+        )
+        assert JULIA_BACKEND.effective_efficiency(False) == JULIA_BACKEND.codegen_efficiency
+
+    def test_lookup(self):
+        assert get_backend("hip") is HIP_BACKEND
+        assert get_backend(JULIA_BACKEND) is JULIA_BACKEND
+
+    def test_unknown_backend(self):
+        with pytest.raises(GpuError):
+            get_backend("cuda")
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(GpuError):
+            BackendProfile(
+                name="bad", workgroup_size=64, lds_bytes=0, scratch_bytes=0,
+                codegen_efficiency=1.5, rand_penalty=1.0,
+                base_compile_seconds=0.0, compile_seconds_per_ir_line=0.0,
+            )
+
+    def test_invalid_rand_penalty_rejected(self):
+        with pytest.raises(GpuError):
+            BackendProfile(
+                name="bad", workgroup_size=64, lds_bytes=0, scratch_bytes=0,
+                codegen_efficiency=0.5, rand_penalty=0.0,
+                base_compile_seconds=0.0, compile_seconds_per_ir_line=0.0,
+            )

@@ -1,0 +1,95 @@
+"""Trace-driven vs. analytic TCC counters on the executed device path."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.frontier import GcdSpec
+from repro.core.params import GrayScottParams
+from repro.core.stencil import kernel_args, make_gray_scott_kernel
+from repro.gpu.cache import TraceCacheSim, seven_point_offsets
+from repro.gpu.kernel import LaunchConfig
+from repro.gpu.memory import Device
+from repro.util.errors import GpuError
+
+
+def _launch(device, n=14):
+    shape = (n, n, n)
+    u = device.zeros(shape, name="u")
+    v = device.zeros(shape, name="v")
+    un = device.zeros(shape, name="u_temp")
+    vn = device.zeros(shape, name="v_temp")
+    u.fill(1.0)
+    kernel = make_gray_scott_kernel()
+    cfg = LaunchConfig.for_domain(shape, (4, 4, 4))
+    args = kernel_args(u, v, un, vn, GrayScottParams(), seed=1, step=0)
+    return device.launch(kernel, cfg.grid, cfg.workgroup, args)
+
+
+class TestMultiSweep:
+    def test_fetch_close_to_analytic_when_fits(self):
+        from repro.gpu.cache import StencilTrafficModel
+
+        shape = (16, 16, 16)
+        loads = {"u": seven_point_offsets(), "v": seven_point_offsets()}
+        stores = {"ut": {(0, 0, 0)}, "vt": {(0, 0, 0)}}
+        trace = TraceCacheSim(1 << 20).multi_sweep(shape, 8, loads, stores)
+        analytic = StencilTrafficModel(GcdSpec(tcc_bytes=1 << 20)).estimate(
+            shape, 8, loads, stores
+        )
+        assert trace.fetch_bytes == pytest.approx(analytic.fetch_bytes, rel=0.1)
+
+    def test_thrash_case_approaches_three_passes(self):
+        shape = (64, 64, 20)
+        loads = {"u": seven_point_offsets()}
+        trace = TraceCacheSim(16 * 1024).multi_sweep(shape, 8, loads, {})
+        array_bytes = 64 * 64 * 20 * 8
+        assert 2.0 < trace.fetch_bytes / array_bytes <= 3.2
+
+    def test_counters_consistent(self):
+        trace = TraceCacheSim(1 << 20).multi_sweep(
+            (12, 12, 12), 8, {"u": seven_point_offsets()}, {"ut": {(0, 0, 0)}}
+        )
+        assert trace.tcc_hits + trace.tcc_misses == trace.tcc_requests
+
+
+class TestDeviceCounterModes:
+    def test_trace_mode_on_device(self):
+        device = Device(backend="julia", counter_mode="trace")
+        cost = _launch(device)
+        assert cost.fetch_bytes > 0
+        assert cost.seconds > 0
+
+    def test_trace_vs_analytic_traffic_agree_at_mini_scale(self):
+        traced = _launch(Device(backend="julia", counter_mode="trace"))
+        analytic = _launch(Device(backend="julia", counter_mode="analytic"))
+        # small grid: everything fits, both see ~1 pass per array
+        assert traced.fetch_bytes == pytest.approx(analytic.fetch_bytes, rel=0.15)
+
+    def test_trace_mode_caps_problem_size(self):
+        device = Device(backend="julia", counter_mode="trace")
+        with pytest.raises(GpuError, match="cap"):
+            _launch(device, n=80)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(GpuError):
+            Device(backend="julia", counter_mode="exact")
+
+    def test_functional_results_identical_across_modes(self):
+        shape = (10, 10, 10)
+        results = {}
+        for mode in ("analytic", "trace"):
+            device = Device(backend="julia", counter_mode=mode)
+            u = device.zeros(shape, name="u")
+            v = device.zeros(shape, name="v")
+            un = device.zeros(shape, name="u_temp")
+            vn = device.zeros(shape, name="v_temp")
+            u.fill(1.0)
+            v.fill(0.2)
+            kernel = make_gray_scott_kernel()
+            cfg = LaunchConfig.for_domain(shape, (4, 4, 4))
+            device.launch(
+                kernel, cfg.grid, cfg.workgroup,
+                kernel_args(u, v, un, vn, GrayScottParams(), seed=2, step=0),
+            )
+            results[mode] = un.data.copy()
+        assert np.array_equal(results["analytic"], results["trace"])

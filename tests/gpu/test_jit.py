@@ -1,0 +1,201 @@
+import numpy as np
+import pytest
+
+from repro.core.params import GrayScottParams
+from repro.core.stencil import kernel_args, make_gray_scott_kernel, make_laplacian_kernel
+from repro.gpu.backends import HIP_BACKEND, JULIA_BACKEND
+from repro.gpu.jit import (
+    Affine,
+    JitCompiler,
+    TraceError,
+    TracedFloat,
+    TracedInt,
+    Tracer,
+    trace_kernel,
+)
+from repro.gpu.kernel import Kernel
+
+
+def _gs_trace():
+    shape = (12, 12, 12)
+    u = np.ones(shape, order="F")
+    v = np.ones(shape, order="F")
+    un = np.zeros(shape, order="F")
+    vn = np.zeros(shape, order="F")
+    kernel = make_gray_scott_kernel()
+    return trace_kernel(kernel, kernel_args(u, v, un, vn, GrayScottParams(), seed=1, step=0))
+
+
+class TestAffine:
+    def test_symbol_arithmetic(self):
+        x = Affine.symbol("x")
+        expr = (x + Affine.constant(3)) - Affine.constant(1)
+        assert expr.const == 2
+        assert expr.terms == (("x", 1),)
+
+    def test_scaled(self):
+        x = Affine.symbol("x")
+        assert x.scaled(4).terms == (("x", 4),)
+        assert x.scaled(0).terms == ()
+
+    def test_cancellation(self):
+        x = Affine.symbol("x")
+        assert (x - x).terms == ()
+
+    def test_str(self):
+        assert str(Affine.symbol("x") + Affine.constant(-1)) == "x - 1"
+        assert str(Affine.constant(0)) == "0"
+
+
+class TestTracedInt:
+    def test_arithmetic_tracks_both(self):
+        t = Tracer("t")
+        i = TracedInt(t, 2, Affine.symbol("x"))
+        j = (i + 1) * 3 - 2
+        assert j.value == 7
+        assert j.expr.terms == (("x", 3),)
+        assert j.expr.const == 1
+
+    def test_comparisons_use_concrete(self):
+        t = Tracer("t")
+        i = TracedInt(t, 2, Affine.symbol("x"))
+        assert i == 2 and i < 3 and i >= 2 and i != 5
+
+    def test_symbol_times_symbol_rejected(self):
+        t = Tracer("t")
+        i = TracedInt(t, 2, Affine.symbol("x"))
+        j = TracedInt(t, 3, Affine.symbol("y"))
+        with pytest.raises(TraceError):
+            _ = i * j
+
+    def test_float_multiplier_rejected(self):
+        t = Tracer("t")
+        i = TracedInt(t, 2, Affine.symbol("x"))
+        with pytest.raises(TraceError):
+            _ = i * 1.5
+
+
+class TestTracedFloat:
+    def test_arithmetic_records_ops(self):
+        t = Tracer("t")
+        a = TracedFloat(t, 2.0)
+        b = TracedFloat(t, 3.0)
+        c = (a + b) * 2.0 - 1.0 / b
+        assert c.value == pytest.approx(10.0 - 1.0 / 3.0)
+        assert t.trace.arith_ops["fadd"] == 1
+        assert t.trace.arith_ops["fmul"] == 1
+
+    def test_pow_expands_to_multiplies(self):
+        t = Tracer("t")
+        a = TracedFloat(t, 3.0)
+        assert (a ** 3).value == 27.0
+        assert t.trace.arith_ops["fmul"] == 2
+
+    def test_pow_bad_exponent(self):
+        t = Tracer("t")
+        with pytest.raises(TraceError):
+            _ = TracedFloat(t, 3.0) ** 0.5
+
+    def test_negation(self):
+        t = Tracer("t")
+        assert (-TracedFloat(t, 3.0)).value == -3.0
+
+
+class TestGrayScottTrace:
+    """The Listing 4 reproduction: the traced kernel's memory profile."""
+
+    def test_fourteen_unique_loads(self):
+        assert len(_gs_trace().unique_loads) == 14
+
+    def test_two_stores(self):
+        assert len(_gs_trace().unique_stores) == 2
+
+    def test_repeated_loads_cse(self):
+        trace = _gs_trace()
+        # raw loads exceed unique ones: u[i,j,k]/v[i,j,k] appear twice
+        assert len(trace.loads) > len(trace.unique_loads)
+
+    def test_seven_point_offsets_recovered(self):
+        offsets = _gs_trace().offsets_by_array()
+        from repro.gpu.cache import seven_point_offsets
+
+        u_offsets = offsets["arg0"]
+        assert u_offsets == seven_point_offsets()
+
+    def test_stores_at_center_only(self):
+        stores = _gs_trace().stores_by_array()
+        assert all(offs == {(0, 0, 0)} for offs in stores.values())
+
+    def test_one_rand_call(self):
+        assert _gs_trace().rand_calls == 1
+
+    def test_ir_renders(self):
+        ir = _gs_trace().render_ir()
+        assert "14 unique loads, 2 stores" in ir
+        assert "load double" in ir
+        assert "store double" in ir
+        assert "@device_uniform" in ir
+
+    def test_laplacian_kernel_profile(self):
+        shape = (10, 10, 10)
+        var = np.ones(shape, order="F")
+        out = np.zeros(shape, order="F")
+        kernel = make_laplacian_kernel()
+        trace = trace_kernel(kernel, (var, out, shape, 0.2, 1.0))
+        assert len(trace.unique_loads) == 7
+        assert len(trace.unique_stores) == 1
+        assert trace.rand_calls == 0
+
+
+class TestTraceKernelValidation:
+    def test_small_array_rejected(self):
+        kernel = make_laplacian_kernel()
+        tiny = np.ones((3, 3, 3), order="F")
+        out = np.zeros((3, 3, 3), order="F")
+        with pytest.raises(TraceError):
+            trace_kernel(kernel, (tiny, out, (3, 3, 3), 0.2, 1.0))
+
+    def test_trace_does_not_mutate_args(self):
+        shape = (8, 8, 8)
+        var = np.ones(shape, order="F")
+        out = np.zeros(shape, order="F")
+        kernel = make_laplacian_kernel()
+        trace_kernel(kernel, (var, out, shape, 0.2, 1.0))
+        assert (out == 0).all()  # tracer writes to a copy
+
+
+class TestJitCompiler:
+    def _args(self):
+        shape = (8, 8, 8)
+        return (
+            np.ones(shape, order="F"),
+            np.zeros(shape, order="F"),
+            shape, 0.2, 1.0,
+        )
+
+    def test_first_compile_costs_time_julia(self):
+        jit = JitCompiler(JULIA_BACKEND)
+        compiled, seconds = jit.compile(make_laplacian_kernel(), self._args())
+        assert seconds > 10.0  # the ~20s Julia JIT cost
+        assert compiled.backend_name == "julia"
+
+    def test_cache_hit_is_free(self):
+        jit = JitCompiler(JULIA_BACKEND)
+        kernel = make_laplacian_kernel()
+        jit.compile(kernel, self._args())
+        _, seconds = jit.compile(kernel, self._args())
+        assert seconds == 0.0
+
+    def test_hip_is_aot(self):
+        jit = JitCompiler(HIP_BACKEND)
+        _, seconds = jit.compile(make_laplacian_kernel(), self._args())
+        assert seconds == 0.0
+
+    def test_codegen_metadata(self):
+        jit = JitCompiler(JULIA_BACKEND)
+        compiled, _ = jit.compile(make_laplacian_kernel(), self._args())
+        assert compiled.workgroup_size == 512
+        assert compiled.lds_bytes == 29_184
+        assert compiled.scratch_bytes == 8_192
+        assert compiled.loads_per_workitem == 7
+        assert compiled.stores_per_workitem == 1

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.cluster.frontier import GcdSpec
+from repro.gpu.kernel import Kernel, KernelContext, LaunchConfig
+from repro.util.errors import LaunchError
+
+
+class TestLaunchConfig:
+    def test_basic_properties(self):
+        cfg = LaunchConfig(grid=(2, 3, 4), workgroup=(8, 4, 2))
+        assert cfg.workgroup_size == 64
+        assert cfg.total_workitems == 2 * 3 * 4 * 64
+        assert cfg.global_extent == (16, 12, 8)
+
+    def test_for_domain_ceil_division(self):
+        cfg = LaunchConfig.for_domain((10, 10, 10), (4, 4, 4))
+        assert cfg.grid == (3, 3, 3)
+        assert all(e >= 10 for e in cfg.global_extent)
+
+    def test_validate_workgroup_limit(self):
+        cfg = LaunchConfig(grid=(1, 1, 1), workgroup=(32, 32, 2))
+        with pytest.raises(LaunchError):
+            cfg.validate(GcdSpec())
+
+    def test_validate_ok_at_limit(self):
+        LaunchConfig(grid=(1, 1, 1), workgroup=(1024, 1, 1)).validate(GcdSpec())
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1)])
+    def test_invalid_shapes_rejected(self, bad):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid=bad, workgroup=(1, 1, 1))
+
+    def test_non_3d_domain_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig.for_domain((4, 4), (2, 2, 2))
+
+
+class TestKernelContext:
+    def test_global_idx(self):
+        ctx = KernelContext(
+            workgroup_idx=(1, 2, 0),
+            workgroup_dim=(8, 4, 2),
+            workitem_idx=(3, 1, 1),
+        )
+        assert ctx.global_idx() == (11, 9, 1)
+
+
+def _fill_body(ctx, out, value):
+    x, y, z = ctx.global_idx()
+    n0, n1, n2 = out.shape
+    if x >= n0 or y >= n1 or z >= n2:
+        return
+    out[x, y, z] = value + x + 10 * y + 100 * z
+
+
+def _fill_vectorized(extent, out, value):
+    n0, n1, n2 = out.shape
+    x = np.arange(n0)[:, None, None]
+    y = np.arange(n1)[None, :, None]
+    z = np.arange(n2)[None, None, :]
+    out[...] = value + x + 10 * y + 100 * z
+
+
+class TestKernelExecution:
+    def test_interpreter_covers_whole_domain(self):
+        out = np.zeros((5, 5, 5), order="F")
+        kernel = Kernel("fill", _fill_body)
+        cfg = LaunchConfig.for_domain(out.shape, (2, 2, 2))
+        kernel.execute(cfg, (out, 1.0))
+        assert out[0, 0, 0] == 1.0
+        assert out[4, 4, 4] == 1.0 + 4 + 40 + 400
+
+    def test_vectorized_matches_interpreter(self):
+        a = np.zeros((6, 5, 4), order="F")
+        b = np.zeros((6, 5, 4), order="F")
+        kernel = Kernel("fill", _fill_body, vectorized=_fill_vectorized)
+        cfg = LaunchConfig.for_domain(a.shape, (4, 4, 4))
+        kernel.execute(cfg, (a, 2.0), force_interpreter=True)
+        kernel.execute(cfg, (b, 2.0))
+        assert np.array_equal(a, b)
+
+    def test_guard_prevents_out_of_bounds(self):
+        # grid overshoots the array; the guard must absorb it
+        out = np.zeros((3, 3, 3), order="F")
+        kernel = Kernel("fill", _fill_body)
+        cfg = LaunchConfig.for_domain((4, 4, 4), (2, 2, 2))
+        kernel.execute(cfg, (out, 0.0))  # must not raise
+
+    def test_device_array_args_unwrapped(self):
+        from repro.gpu.memory import Device
+
+        device = Device(backend="hip")
+        darr = device.zeros((4, 4, 4))
+        kernel = Kernel("fill", _fill_body)
+        cfg = LaunchConfig.for_domain((4, 4, 4), (2, 2, 2))
+        kernel.execute(cfg, (darr, 5.0))
+        assert darr.data[0, 0, 0] == 5.0

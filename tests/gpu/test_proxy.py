@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.core.params import GrayScottParams
+from repro.core.stencil import kernel_args, make_gray_scott_kernel
+from repro.gpu.jit import trace_kernel
+from repro.gpu.proxy import (
+    grayscott_launch_cost,
+    jit_compile_seconds,
+    kernel_access_pattern,
+)
+from repro.util.errors import GpuError
+from repro.util.units import GB
+
+
+class TestAccessPatternMatchesTrace:
+    def test_proxy_offsets_equal_traced_offsets(self):
+        """The proxy's assumed pattern is exactly what the JIT recovers."""
+        shape = (12, 12, 12)
+        u = np.ones(shape, order="F")
+        v = np.ones(shape, order="F")
+        un = np.zeros(shape, order="F")
+        vn = np.zeros(shape, order="F")
+        trace = trace_kernel(
+            make_gray_scott_kernel(),
+            kernel_args(u, v, un, vn, GrayScottParams(), seed=1, step=0),
+        )
+        loads, stores = kernel_access_pattern(nvars=2)
+        assert sorted(map(sorted, trace.offsets_by_array().values())) == sorted(
+            map(sorted, loads.values())
+        )
+        assert sorted(map(sorted, trace.stores_by_array().values())) == sorted(
+            map(sorted, stores.values())
+        )
+
+
+class TestGrayscottLaunchCost:
+    def test_paper_scale_durations(self):
+        """Table 3's Avg Duration column, within a few percent."""
+        shape = (1024, 1024, 1024)
+        hip = grayscott_launch_cost(shape, "hip", variant="1var_norand")
+        j1 = grayscott_launch_cost(shape, "julia", variant="1var_norand")
+        j2 = grayscott_launch_cost(shape, "julia", variant="application")
+        assert hip.seconds * 1e3 == pytest.approx(28.74, rel=0.05)
+        assert j1.seconds * 1e3 == pytest.approx(54.03, rel=0.05)
+        assert j2.seconds * 1e3 == pytest.approx(111.07, rel=0.05)
+
+    def test_paper_scale_bandwidths(self):
+        """Table 2's bandwidth rows, within ~10%."""
+        shape = (1024, 1024, 1024)
+        j2 = grayscott_launch_cost(shape, "julia", variant="application")
+        hip = grayscott_launch_cost(shape, "hip", variant="1var_norand")
+        assert j2.effective_bandwidth / GB == pytest.approx(312, rel=0.1)
+        assert hip.effective_bandwidth / GB == pytest.approx(599, rel=0.1)
+        assert hip.total_bandwidth / GB == pytest.approx(1163, rel=0.1)
+
+    def test_unknown_variant(self):
+        with pytest.raises(GpuError):
+            grayscott_launch_cost((64,) * 3, "julia", variant="nope")
+
+    def test_small_domain_single_pass(self):
+        small = grayscott_launch_cost((64,) * 3, "julia")
+        # planes fit in TCC: fetch ~= 1x per array, so fetch < 1.2x writes*...
+        assert small.fetch_bytes < 1.2 * 2 * 64**3 * 8
+
+    def test_bytes_scale_with_variant(self):
+        one = grayscott_launch_cost((256,) * 3, "julia", variant="1var_norand")
+        two = grayscott_launch_cost((256,) * 3, "julia", variant="application")
+        assert two.total_bytes == pytest.approx(2 * one.total_bytes)
+
+
+class TestJitCompileSeconds:
+    def test_julia_cost(self):
+        assert 20.0 < jit_compile_seconds("julia") < 35.0
+
+    def test_hip_free(self):
+        assert jit_compile_seconds("hip") == 0.0

@@ -1,0 +1,147 @@
+import pytest
+
+from repro.mpi.cart import dims_create
+from repro.mpi.comm import PROC_NULL
+from repro.mpi.executor import run_spmd
+from repro.util.errors import MPIError
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize(
+        "n,ndims,expected",
+        [
+            (4096, 3, (16, 16, 16)),
+            (512, 3, (8, 8, 8)),
+            (8, 3, (2, 2, 2)),
+            (1, 3, (1, 1, 1)),
+            (12, 2, (4, 3)),
+            (7, 1, (7,)),
+            (6, 3, (3, 2, 1)),
+            (64, 3, (4, 4, 4)),
+        ],
+    )
+    def test_balanced(self, n, ndims, expected):
+        assert dims_create(n, ndims) == expected
+
+    def test_product_invariant(self):
+        import math
+
+        for n in (1, 2, 24, 30, 100, 4096):
+            dims = dims_create(n, 3)
+            assert math.prod(dims) == n
+
+    def test_fixed_dims(self):
+        assert dims_create(12, 3, dims=[0, 2, 0]) == (3, 2, 2)
+        assert dims_create(12, 2, dims=[12, 0]) == (12, 1)
+
+    def test_fixed_dims_indivisible(self):
+        with pytest.raises(MPIError):
+            dims_create(10, 2, dims=[3, 0])
+
+    def test_all_fixed_must_multiply(self):
+        assert dims_create(6, 2, dims=[3, 2]) == (3, 2)
+        with pytest.raises(MPIError):
+            dims_create(6, 2, dims=[3, 3])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MPIError):
+            dims_create(0, 3)
+        with pytest.raises(MPIError):
+            dims_create(4, 0)
+
+
+class TestCartComm:
+    def _with_cart(self, size, dims, periods, fn):
+        def body(comm):
+            cart = comm.create_cart(dims, periods)
+            return fn(cart)
+
+        return run_spmd(body, size, timeout=15)
+
+    def test_coords_roundtrip(self):
+        def check(cart):
+            coords = cart.coords()
+            assert cart.rank_of(coords) == cart.rank
+            return coords
+
+        coords = self._with_cart(8, (2, 2, 2), None, check)
+        assert coords[0] == (0, 0, 0)
+        assert coords[7] == (1, 1, 1)
+        assert coords[1] == (0, 0, 1)  # last dim varies fastest
+
+    def test_shift_interior(self):
+        def check(cart):
+            return cart.shift(2, 1)
+
+        results = self._with_cart(4, (1, 1, 4), (False, False, False), check)
+        assert results[1] == (0, 2)
+        assert results[0] == (PROC_NULL, 1)
+        assert results[3] == (2, PROC_NULL)
+
+    def test_shift_periodic_wraps(self):
+        def check(cart):
+            return cart.shift(2, 1)
+
+        results = self._with_cart(4, (1, 1, 4), (True, True, True), check)
+        assert results[0] == (3, 1)
+        assert results[3] == (2, 0)
+
+    def test_neighbors_periodic_always_six(self):
+        def check(cart):
+            return sum(1 for r in cart.neighbors().values() if r != PROC_NULL)
+
+        assert self._with_cart(8, (2, 2, 2), (True,) * 3, check) == [6] * 8
+
+    def test_neighbors_nonperiodic_corner(self):
+        def check(cart):
+            if cart.rank == 0:
+                return sum(1 for r in cart.neighbors().values() if r != PROC_NULL)
+            return None
+
+        assert self._with_cart(8, (2, 2, 2), (False,) * 3, check)[0] == 3
+
+    def test_dims_mismatch_rejected(self):
+        with pytest.raises(MPIError):
+            self._with_cart(4, (3, 1, 1), None, lambda c: None)
+
+    def test_bad_shift_direction(self):
+        def check(cart):
+            cart.shift(5, 1)
+
+        with pytest.raises(MPIError):
+            self._with_cart(4, (1, 1, 4), None, check)
+
+    def test_cart_messages_isolated_from_parent(self):
+        def body(comm):
+            cart = comm.create_cart((2,) if comm.size == 2 else (comm.size,))
+            if comm.rank == 0:
+                comm.send("world", 1, tag=0)
+                cart.send("cart", 1, tag=0)
+                return None
+            from_cart, _ = cart.recv(0, tag=0)
+            from_world, _ = comm.recv(0, tag=0)
+            return from_cart, from_world
+
+        assert run_spmd(body, 2, timeout=10)[1] == ("cart", "world")
+
+    def test_cart_collectives(self):
+        def body(comm):
+            cart = comm.create_cart((2, 2, 2), (True,) * 3)
+            return cart.allreduce(cart.rank, "sum")
+
+        assert run_spmd(body, 8, timeout=15) == [28] * 8
+
+    def test_coords_of_other_rank(self):
+        def body(comm):
+            cart = comm.create_cart((2, 2))
+            return cart.coords(3)
+
+        assert run_spmd(body, 4, timeout=10)[0] == (1, 1)
+
+    def test_bad_coords_length(self):
+        def body(comm):
+            cart = comm.create_cart((4,))
+            cart.rank_of((1, 2))
+
+        with pytest.raises(MPIError):
+            run_spmd(body, 4, timeout=5)

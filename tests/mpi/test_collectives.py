@@ -1,0 +1,195 @@
+import numpy as np
+import pytest
+
+from repro.mpi.collectives import allreduce_rd
+from repro.mpi.executor import run_spmd
+from repro.util.errors import MPIError
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+class TestBcast:
+    def test_object(self, size):
+        root = size - 1
+
+        def body(comm):
+            data = {"k": [1, 2]} if comm.rank == root else None
+            return comm.bcast(data, root=root)
+
+        results = run_spmd(body, size, timeout=15)
+        assert all(r == {"k": [1, 2]} for r in results)
+
+    def test_array(self, size):
+        def body(comm):
+            data = np.arange(8.0) if comm.rank == 0 else None
+            return comm.bcast(data, root=0).sum()
+
+        assert run_spmd(body, size, timeout=15) == [28.0] * size
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+class TestReduce:
+    def test_sum_scalar(self, size):
+        def body(comm):
+            return comm.reduce(comm.rank + 1, "sum", root=0)
+
+        results = run_spmd(body, size, timeout=15)
+        assert results[0] == size * (size + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_max_array(self, size):
+        def body(comm):
+            arr = np.array([comm.rank, -comm.rank], dtype=np.float64)
+            return comm.reduce(arr, "max", root=0)
+
+        result = run_spmd(body, size, timeout=15)[0]
+        assert np.array_equal(result, [size - 1, 0])
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 6, 8])
+class TestAllreduce:
+    def test_sum_everywhere(self, size):
+        def body(comm):
+            return comm.allreduce(comm.rank, "sum")
+
+        expected = size * (size - 1) // 2
+        assert run_spmd(body, size, timeout=15) == [expected] * size
+
+    def test_min(self, size):
+        def body(comm):
+            return comm.allreduce(10 - comm.rank, "min")
+
+        assert run_spmd(body, size, timeout=15) == [10 - (size - 1)] * size
+
+
+class TestAllreduceRecursiveDoubling:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_matches_baseline(self, size):
+        def body(comm):
+            rd = allreduce_rd(comm, float(comm.rank + 1), "sum")
+            base = comm.allreduce(float(comm.rank + 1), "sum")
+            return rd, base
+
+        for rd, base in run_spmd(body, size, timeout=15):
+            assert rd == base
+
+    def test_rejects_non_power_of_two(self):
+        def body(comm):
+            allreduce_rd(comm, 1.0, "sum")
+
+        with pytest.raises(MPIError):
+            run_spmd(body, 3, timeout=5)
+
+    def test_bitwise_identical_across_ranks(self):
+        def body(comm):
+            value = np.array([0.1 * (comm.rank + 1), 1e-17 + comm.rank])
+            return allreduce_rd(comm, value, "sum")
+
+        results = run_spmd(body, 8, timeout=15)
+        for other in results[1:]:
+            assert np.array_equal(results[0], other)
+
+
+@pytest.mark.parametrize("size", [1, 2, 5, 8])
+class TestGatherScatter:
+    def test_gather(self, size):
+        def body(comm):
+            return comm.gather(comm.rank * 2, root=0)
+
+        results = run_spmd(body, size, timeout=15)
+        assert results[0] == [2 * r for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_scatter(self, size):
+        def body(comm):
+            values = [f"msg{r}" for r in range(size)] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        assert run_spmd(body, size, timeout=15) == [f"msg{r}" for r in range(size)]
+
+    def test_allgather(self, size):
+        def body(comm):
+            return comm.allgather(comm.rank ** 2)
+
+        expected = [r**2 for r in range(size)]
+        assert run_spmd(body, size, timeout=15) == [expected] * size
+
+    def test_alltoall(self, size):
+        def body(comm):
+            values = [(comm.rank, dest) for dest in range(size)]
+            return comm.alltoall(values)
+
+        results = run_spmd(body, size, timeout=15)
+        for rank, received in enumerate(results):
+            assert received == [(src, rank) for src in range(size)]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", [1, 2, 3, 8])
+    def test_completes(self, size):
+        def body(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(run_spmd(body, size, timeout=15))
+
+    def test_barrier_orders_side_effects(self):
+        log = []
+
+        def body(comm):
+            if comm.rank == 0:
+                log.append("pre")
+            comm.barrier()
+            if comm.rank == 1:
+                log.append("post")
+            return None
+
+        run_spmd(body, 2, timeout=10)
+        assert log == ["pre", "post"]
+
+
+class TestCollectiveErrors:
+    def test_bad_root(self):
+        def body(comm):
+            comm.bcast(1, root=5)
+
+        with pytest.raises(MPIError):
+            run_spmd(body, 2, timeout=5)
+
+    def test_scatter_wrong_length(self):
+        def body(comm):
+            values = [1] if comm.rank == 0 else None
+            comm.scatter(values, root=0)
+
+        with pytest.raises(MPIError):
+            run_spmd(body, 2, timeout=5)
+
+    def test_alltoall_wrong_length(self):
+        def body(comm):
+            comm.alltoall([1])
+
+        with pytest.raises(MPIError):
+            run_spmd(body, 2, timeout=5)
+
+    def test_unknown_op(self):
+        def body(comm):
+            comm.allreduce(1, "median")
+
+        with pytest.raises(MPIError):
+            run_spmd(body, 2, timeout=5)
+
+    def test_custom_callable_op(self):
+        def body(comm):
+            return comm.allreduce(comm.rank + 1, lambda a, b: a * b)
+
+        size = 4
+        assert run_spmd(body, size, timeout=15) == [24] * size
+
+    def test_back_to_back_collectives_do_not_cross_match(self):
+        def body(comm):
+            first = comm.allreduce(comm.rank, "sum")
+            second = comm.allreduce(comm.rank * 10, "sum")
+            return first, second
+
+        for first, second in run_spmd(body, 4, timeout=15):
+            assert (first, second) == (6, 60)

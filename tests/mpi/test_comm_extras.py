@@ -1,0 +1,192 @@
+"""Probe, split, scan/exscan, reduce_scatter — the MPI extras."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.executor import run_spmd
+from repro.util.errors import MPIError
+
+
+class TestProbe:
+    def test_probe_reports_pending_message(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(6, dtype=np.float64), 1, tag=9)
+                return None
+            status = comm.probe(0, 9)
+            buf = np.zeros(status.count_bytes // 8)
+            comm.recv_into(buf, 0, 9)
+            return buf.sum()
+
+        assert run_spmd(body, 2, timeout=10)[1] == 15.0
+
+    def test_probe_does_not_consume(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=1)
+                return None
+            comm.probe(0, 1)
+            comm.probe(0, 1)  # still there
+            return comm.recv(0, 1)[0]
+
+        assert run_spmd(body, 2, timeout=10)[1] == "x"
+
+    def test_probe_timeout(self):
+        def body(comm):
+            if comm.rank == 1:
+                comm.probe(0, 1, timeout=0.2)
+
+        with pytest.raises(MPIError, match="timed out"):
+            run_spmd(body, 2, timeout=10)
+
+    def test_iprobe(self):
+        def body(comm):
+            if comm.rank == 0:
+                assert comm.iprobe(1, 5) is None
+                comm.send("later", 1, tag=5)
+                return None
+            # wait until the message is pending
+            status = None
+            while status is None:
+                status = comm.iprobe(0, 5)
+            return status.source
+
+        assert run_spmd(body, 2, timeout=10)[1] == 0
+
+
+class TestScan:
+    @pytest.mark.parametrize("size", [1, 2, 5, 8])
+    def test_inclusive_scan(self, size):
+        def body(comm):
+            return comm.scan(comm.rank + 1, "sum")
+
+        results = run_spmd(body, size, timeout=15)
+        assert results == [r * (r + 1) // 2 + (r + 1) for r in range(size)] or all(
+            results[r] == sum(range(1, r + 2)) for r in range(size)
+        )
+
+    @pytest.mark.parametrize("size", [1, 3, 6])
+    def test_exclusive_scan(self, size):
+        def body(comm):
+            return comm.exscan(comm.rank + 1, "sum")
+
+        results = run_spmd(body, size, timeout=15)
+        assert results[0] is None
+        for r in range(1, size):
+            assert results[r] == sum(range(1, r + 1))
+
+    def test_scan_arrays(self):
+        def body(comm):
+            return comm.scan(np.array([comm.rank, 1.0]), "sum")
+
+        results = run_spmd(body, 4, timeout=15)
+        assert np.array_equal(results[3], [0 + 1 + 2 + 3, 4.0])
+
+    def test_scan_max(self):
+        def body(comm):
+            values = [3, 1, 4, 1, 5]
+            return comm.scan(values[comm.rank], "max")
+
+        assert run_spmd(body, 5, timeout=15) == [3, 3, 4, 4, 5]
+
+
+class TestReduceScatter:
+    def test_elementwise_sum_scattered(self):
+        def body(comm):
+            # rank r contributes [r*10 + j for j in 0..size)
+            values = [comm.rank * 10 + j for j in range(comm.size)]
+            return comm.reduce_scatter(values, "sum")
+
+        size = 4
+        results = run_spmd(body, size, timeout=15)
+        # element j total: sum_r (r*10 + j) = 10*6 + 4j
+        assert results == [60 + size * j for j in range(size)]
+
+    def test_wrong_length_rejected(self):
+        def body(comm):
+            comm.reduce_scatter([1], "sum")
+
+        with pytest.raises(MPIError):
+            run_spmd(body, 3, timeout=5)
+
+
+class TestSplit:
+    def test_even_odd_split(self):
+        def body(comm):
+            sub = comm.split(color=comm.rank % 2)
+            total = sub.allreduce(comm.rank, "sum")
+            return (sub.rank, sub.size, total)
+
+        results = run_spmd(body, 6, timeout=15)
+        # evens: 0, 2, 4 -> sum 6; odds: 1, 3, 5 -> sum 9
+        assert results[0] == (0, 3, 6)
+        assert results[2] == (1, 3, 6)
+        assert results[1] == (0, 3, 9)
+        assert results[5] == (2, 3, 9)
+
+    def test_key_reorders_ranks(self):
+        def body(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        assert run_spmd(body, 4, timeout=15) == [3, 2, 1, 0]
+
+    def test_undefined_color(self):
+        def body(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 1)
+            if comm.rank == 0:
+                return sub is None
+            return sub.size
+
+        results = run_spmd(body, 4, timeout=15)
+        assert results[0] is True
+        assert results[1:] == [3, 3, 3]
+
+    def test_split_p2p_uses_group_ranks(self):
+        def body(comm):
+            sub = comm.split(color=comm.rank // 2)  # pairs
+            if sub.rank == 0:
+                sub.send(f"from world {comm.rank}", 1)
+                return None
+            payload, status = sub.recv(0)
+            return (payload, status.source)
+
+        results = run_spmd(body, 4, timeout=15)
+        assert results[1] == ("from world 0", 0)
+        assert results[3] == ("from world 2", 0)
+
+    def test_split_isolated_from_world(self):
+        def body(comm):
+            sub = comm.split(color=0)
+            if comm.rank == 0:
+                comm.send("world", 1, tag=3)
+                sub.send("sub", 1, tag=3)
+                return None
+            if comm.rank == 1:
+                from_sub, _ = sub.recv(0, tag=3)
+                from_world, _ = comm.recv(0, tag=3)
+                return (from_sub, from_world)
+            return None
+
+        assert run_spmd(body, 3, timeout=15)[1] == ("sub", "world")
+
+    def test_cart_on_split(self):
+        """Sub-communicator supports Cartesian topology (node-local comms)."""
+
+        def body(comm):
+            sub = comm.split(color=comm.rank // 4)
+            cart = sub.create_cart((2, 2))
+            return (cart.coords(), cart.allreduce(comm.rank, "sum"))
+
+        results = run_spmd(body, 8, timeout=15)
+        assert results[0] == ((0, 0), 0 + 1 + 2 + 3)
+        assert results[7] == ((1, 1), 4 + 5 + 6 + 7)
+
+    def test_nested_split(self):
+        def body(comm):
+            half = comm.split(color=comm.rank // 4)
+            quarter = half.split(color=half.rank // 2)
+            return quarter.allreduce(comm.rank, "sum")
+
+        results = run_spmd(body, 8, timeout=15)
+        assert results == [1, 1, 5, 5, 9, 9, 13, 13]

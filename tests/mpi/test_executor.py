@@ -1,0 +1,44 @@
+import threading
+
+import pytest
+
+from repro.mpi.executor import run_spmd
+from repro.util.errors import MPIError
+
+
+class TestRunSpmd:
+    def test_results_ordered_by_rank(self):
+        results = run_spmd(lambda comm: comm.rank * 10, 5, timeout=10)
+        assert results == [0, 10, 20, 30, 40]
+
+    def test_args_passed_through(self):
+        def body(comm, a, b=0):
+            return a + b + comm.rank
+
+        assert run_spmd(body, 2, 5, b=1, timeout=10) == [6, 7]
+
+    def test_single_rank(self):
+        assert run_spmd(lambda comm: comm.size, 1, timeout=5) == [1]
+
+    def test_runs_concurrently(self):
+        """All ranks must be alive at once (barrier across threads)."""
+        barrier = threading.Barrier(4, timeout=10)
+
+        def body(comm):
+            barrier.wait()
+            return True
+
+        assert all(run_spmd(body, 4, timeout=15))
+
+    def test_first_real_error_wins_over_abort_echo(self):
+        def body(comm):
+            if comm.rank == 2:
+                raise KeyError("the real problem")
+            comm.recv(0)
+
+        with pytest.raises(KeyError, match="the real problem"):
+            run_spmd(body, 4, timeout=30)
+
+    def test_many_ranks(self):
+        results = run_spmd(lambda comm: comm.allreduce(1, "sum"), 32, timeout=60)
+        assert results == [32] * 32

@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from repro.bench import calibration as cal
+from repro.cluster.placement import Placement
+from repro.mpi.netmodel import (
+    HaloExchangeModel,
+    NetModel,
+    WeakScalingModel,
+    noise_sigma,
+)
+
+
+class TestNetModel:
+    def test_intra_vs_inter_node(self):
+        net = NetModel(Placement(16))
+        nbytes = 8 << 20
+        intra = net.p2p_seconds(0, 1, nbytes)
+        inter = net.p2p_seconds(0, 8, nbytes)
+        assert inter > intra  # Slingshot is slower than Infinity Fabric
+
+    def test_self_message_free(self):
+        net = NetModel(Placement(4))
+        assert net.p2p_seconds(2, 2, 1 << 20) == 0.0
+
+    def test_latency_dominates_small_messages(self):
+        net = NetModel(Placement(16))
+        assert net.p2p_seconds(0, 8, 1) == pytest.approx(
+            cal.NET_LATENCY_INTER_S, rel=0.01
+        )
+
+
+class TestHaloExchangeModel:
+    def test_face_bytes(self):
+        model = HaloExchangeModel(
+            Placement(8), (2, 2, 2), (1024, 1024, 1024)
+        )
+        assert model.face_bytes(0) == 1024 * 1024 * 8
+
+    def test_periodic_all_ranks_same_message_count(self):
+        model = HaloExchangeModel(Placement(64), (4, 4, 4), (64, 64, 64))
+        costs = [model.rank_step_seconds(r).total_seconds for r in range(64)]
+        # all ranks exchange 6 faces; spread only from link placement
+        assert max(costs) / min(costs) < 2.5
+
+    def test_nonperiodic_corners_cheaper(self):
+        periodic = HaloExchangeModel(
+            Placement(64), (4, 4, 4), (64, 64, 64), periodic=True
+        )
+        open_bc = HaloExchangeModel(
+            Placement(64), (4, 4, 4), (64, 64, 64), periodic=False
+        )
+        # rank 0 is a corner: half its neighbours vanish without wrap
+        assert (
+            open_bc.rank_step_seconds(0).total_seconds
+            < periodic.rank_step_seconds(0).total_seconds
+        )
+
+    def test_breakdown_components_positive(self):
+        model = HaloExchangeModel(Placement(8), (2, 2, 2), (128, 128, 128))
+        cost = model.rank_step_seconds(0)
+        assert cost.pack_seconds > 0
+        assert cost.transfer_seconds > 0
+        assert cost.d2h_h2d_seconds > 0
+        assert cost.total_seconds == pytest.approx(
+            cost.pack_seconds + cost.transfer_seconds + cost.d2h_h2d_seconds
+        )
+
+
+class TestNoiseSigma:
+    def test_flat_until_onset(self):
+        assert noise_sigma(1) == noise_sigma(512) == cal.NOISE_SIGMA_BASE
+
+    def test_grows_past_onset(self):
+        assert noise_sigma(4096) > noise_sigma(512)
+        assert noise_sigma(32768) > noise_sigma(4096)
+
+
+class TestWeakScalingModel:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return WeakScalingModel(steps=20, seed=2023).run([1, 8, 64, 512, 4096])
+
+    def test_kernel_time_matches_table3(self, points):
+        # 111 ms per application step at 1024^3 on the julia backend
+        assert points[0].kernel_seconds_per_step == pytest.approx(0.111, rel=0.05)
+
+    def test_paper_variability_bands(self, points):
+        by_ranks = {p.nranks: p for p in points}
+        assert by_ranks[512].variability < 0.05  # paper: 2-3%
+        assert 0.08 < by_ranks[4096].variability < 0.20  # paper: 12-15%
+
+    def test_variability_grows_with_scale(self, points):
+        assert points[-1].variability > points[1].variability
+
+    def test_weak_scaling_mean_nearly_flat(self, points):
+        assert points[-1].mean_seconds / points[0].mean_seconds < 1.25
+
+    def test_deterministic_given_seed(self):
+        a = WeakScalingModel(seed=7).run_point(64)
+        b = WeakScalingModel(seed=7).run_point(64)
+        assert np.array_equal(a.rank_seconds, b.rank_seconds)
+
+    def test_seed_changes_jitter(self):
+        a = WeakScalingModel(seed=7).run_point(64)
+        b = WeakScalingModel(seed=8).run_point(64)
+        assert not np.array_equal(a.rank_seconds, b.rank_seconds)
+
+    def test_cart_dims_follow_ladder(self, points):
+        assert [p.cart_dims for p in points] == [
+            (1, 1, 1), (2, 2, 2), (4, 4, 4), (8, 8, 8), (16, 16, 16)
+        ]
+
+    def test_nodes_accounting(self, points):
+        assert [p.nnodes for p in points] == [1, 1, 8, 64, 512]
+
+
+class TestGhostExchangeFailureModel:
+    """The paper's 32,768-GPU observation (Section 5.2)."""
+
+    def test_reliable_at_paper_scales(self):
+        from repro.mpi.netmodel import ghost_exchange_failure_probability as p
+
+        for nranks in (1, 8, 64, 512, 4096):
+            assert p(nranks, 20) == 0.0
+
+    def test_mostly_fails_at_32k(self):
+        from repro.mpi.netmodel import ghost_exchange_failure_probability as p
+
+        assert p(32768, 20) > 0.9
+
+    def test_monotone_in_scale_and_steps(self):
+        from repro.mpi.netmodel import ghost_exchange_failure_probability as p
+
+        assert p(8192, 20) < p(16384, 20) < p(32768, 20)
+        assert p(32768, 5) < p(32768, 50)
+
+    def test_probability_bounds(self):
+        from repro.mpi.netmodel import ghost_exchange_failure_probability as p
+
+        for nranks in (4096, 10000, 75264):
+            for steps in (1, 100, 10000):
+                assert 0.0 <= p(nranks, steps) <= 1.0

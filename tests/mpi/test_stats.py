@@ -1,0 +1,106 @@
+"""mpiP-style communication statistics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.executor import run_spmd
+
+
+def _run_with_stats(fn, nranks, **kwargs):
+    job_out = {}
+    results = run_spmd(
+        fn, nranks, job_out=job_out, collect_stats=True, timeout=60, **kwargs
+    )
+    return results, job_out["job"].stats
+
+
+class TestP2pAccounting:
+    def test_exact_message_and_byte_counts(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), 1)  # 800 B
+                comm.send(np.zeros(50), 1)  # 400 B
+            elif comm.rank == 1:
+                comm.recv(0)
+                comm.recv(0)
+            return True
+
+        _, stats = _run_with_stats(body, 2)
+        pair = stats.pair(0, 1)
+        assert pair.messages == 2
+        assert pair.bytes == 1200
+        assert stats.pair(1, 0).messages == 0
+        totals = stats.p2p_totals()
+        assert totals.messages == 2 and totals.bytes == 1200
+
+    def test_peer_matrix(self):
+        def body(comm):
+            dest = (comm.rank + 1) % comm.size
+            comm.send(np.zeros(8), dest, tag=1)
+            comm.recv((comm.rank - 1) % comm.size, tag=1)
+            return True
+
+        _, stats = _run_with_stats(body, 4)
+        matrix = stats.peer_matrix()
+        # a ring: exactly one message along each (r, r+1) edge
+        for r in range(4):
+            assert matrix[r, (r + 1) % 4] == 1
+        assert matrix.sum() == 4
+
+    def test_halo_exchange_volume_matches_analysis(self):
+        """Measured exchange traffic equals the Section 3.3 face math."""
+        from repro.core.domain import LocalDomain
+        from repro.core.exchange import exchange_ghosts
+
+        global_shape = (8, 8, 8)
+        dims = (2, 2, 2)
+
+        def body(comm):
+            cart = comm.create_cart(dims, periods=(True,) * 3)
+            domain = LocalDomain.for_coords(global_shape, dims, cart.coords())
+            field = domain.allocate_field()
+            exchange_ghosts(cart, field, domain.face_specs())
+            return True
+
+        _, stats = _run_with_stats(body, 8)
+        totals = stats.p2p_totals()
+        # 8 ranks x 6 faces, one message each
+        assert totals.messages == 48
+        # ghosted local block is 6^3; faces span the full ghosted extent
+        face_bytes = 6 * 6 * 8
+        assert totals.bytes == 48 * face_bytes
+
+
+class TestCollectiveAccounting:
+    def test_bcast_internal_messages(self):
+        def body(comm):
+            return comm.bcast("x" if comm.rank == 0 else None, root=0)
+
+        _, stats = _run_with_stats(body, 8)
+        # binomial tree on 8 ranks: 7 internal messages
+        assert stats.collective("bcast").messages == 7
+
+    def test_allreduce_is_reduce_plus_bcast(self):
+        def body(comm):
+            return comm.allreduce(comm.rank, "sum")
+
+        _, stats = _run_with_stats(body, 8)
+        assert stats.collective("reduce").messages == 7
+        assert stats.collective("bcast").messages == 7
+
+    def test_render(self):
+        def body(comm):
+            comm.send(np.zeros(4), (comm.rank + 1) % comm.size, tag=0)
+            comm.recv((comm.rank - 1) % comm.size, tag=0)
+            comm.barrier()
+            return True
+
+        _, stats = _run_with_stats(body, 4)
+        text = stats.render()
+        assert "point-to-point" in text
+        assert "barrier" in text
+
+    def test_stats_off_by_default(self):
+        job_out = {}
+        run_spmd(lambda comm: comm.barrier(), 2, job_out=job_out, timeout=30)
+        assert job_out["job"].stats is None

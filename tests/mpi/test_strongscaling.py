@@ -1,0 +1,69 @@
+import pytest
+
+from repro.mpi.strongscaling import StrongScalingModel
+from repro.util.errors import ConfigError
+
+
+class TestStrongScalingModel:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return StrongScalingModel().run([1, 8, 64, 512, 4096])
+
+    def test_kernel_time_shrinks_with_ranks(self, points):
+        kernel_times = [p.kernel_seconds for p in points]
+        assert kernel_times == sorted(kernel_times, reverse=True)
+        # 8x ranks -> 1/8 the cells each, AND the 512^3 local planes now
+        # fit the 8 MB TCC (one streaming pass instead of three), so the
+        # drop is superlinear: ~1/16
+        ratio = points[1].kernel_seconds / points[0].kernel_seconds
+        assert 1 / 24 < ratio < 1 / 10
+
+    def test_comm_fraction_grows(self, points):
+        fractions = [p.comm_fraction for p in points[1:]]  # 1 rank: self only
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.3  # communication-dominated at 4,096
+
+    def test_efficiency_superlinear_then_decays(self, points):
+        base = points[0]
+        efficiencies = [p.efficiency_vs(base) for p in points]
+        assert efficiencies[0] == pytest.approx(1.0)
+        # cache-fit bonus makes 8 ranks superlinear...
+        assert efficiencies[1] > 1.2
+        # ...then communication erodes it monotonically
+        assert efficiencies[1] > efficiencies[2] > efficiencies[3] > efficiencies[4]
+        assert efficiencies[-1] < 0.6
+
+    def test_speedup_still_positive(self, points):
+        base = points[0]
+        speedups = [p.speedup_vs(base) for p in points]
+        assert speedups == sorted(speedups)  # no slowdown yet at these sizes
+
+    def test_local_shapes_divide_global(self, points):
+        for p in points:
+            total = 1
+            for g, l in zip((1024, 1024, 1024), p.local_shape):
+                assert g % l == 0
+                total *= g // l
+            assert total == p.nranks
+
+    def test_indivisible_rejected(self):
+        model = StrongScalingModel(global_shape=(100, 100, 100))
+        model.run_point(8)  # 100 % 2 == 0: fine
+        with pytest.raises(ConfigError):
+            model.run_point(27)  # 100 % 3 != 0
+
+    def test_too_thin_rejected(self):
+        model = StrongScalingModel(global_shape=(8, 8, 8))
+        with pytest.raises(ConfigError, match="too thin"):
+            model.run_point(64)
+
+    def test_gpu_aware_helps_more_at_scale(self):
+        host = StrongScalingModel().run_point(4096)
+        aware = StrongScalingModel(gpu_aware=True).run_point(4096)
+        assert aware.comm_seconds < host.comm_seconds
+        assert aware.kernel_seconds == host.kernel_seconds
+
+    def test_render(self, points):
+        text = StrongScalingModel().render(points)
+        assert "Strong scaling" in text
+        assert "efficiency" in text

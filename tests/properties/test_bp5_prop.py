@@ -1,0 +1,68 @@
+"""Property-based tests of BP5 write/read round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adios.api import Adios
+
+
+@st.composite
+def shaped_selection(draw):
+    shape = tuple(draw(st.integers(1, 6)) for _ in range(3))
+    start = tuple(draw(st.integers(0, s - 1)) for s in shape)
+    count = tuple(
+        draw(st.integers(1, s - a)) for s, a in zip(shape, start)
+    )
+    return shape, start, count
+
+
+class TestBp5RoundTripProperties:
+    @given(shaped_selection(), st.integers(0, 2**31 - 1))
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_write_then_read_selection(self, tmp_path, case, seed):
+        """Any box selection reads back exactly what was written there."""
+        shape, start, count = case
+        rng = np.random.default_rng(seed)
+        data = np.asfortranarray(rng.random(shape))
+
+        io = Adios().declare_io("prop")
+        u = io.define_variable("U", np.float64, shape=shape, count=shape)
+        path = tmp_path / f"p{seed}.bp"
+        with io.open(path, "w") as engine:
+            engine.begin_step()
+            engine.put(u, data)
+            engine.end_step()
+
+        reader = io.open(path, "r")
+        sel = reader.read("U", step=0, start=start, count=count)
+        expected = data[tuple(slice(a, a + c) for a, c in zip(start, count))]
+        assert np.array_equal(sel, np.asfortranarray(expected))
+        # block min/max metadata is exact
+        assert reader.minmax("U") == (data.min(), data.max())
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_scalar_series_roundtrip(self, tmp_path, values):
+        io = Adios().declare_io("scalars")
+        var = io.define_variable("x", np.float64)
+        path = tmp_path / "s.bp"
+        with io.open(path, "w") as engine:
+            for value in values:
+                engine.begin_step()
+                engine.put(var, np.float64(value))
+                engine.end_step()
+        reader = io.open(path, "r")
+        assert reader.scalar_series("x") == [np.float64(v) for v in values]

@@ -1,0 +1,72 @@
+"""Property-based tests of the TCC traffic model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.frontier import GcdSpec
+from repro.gpu.cache import (
+    StencilTrafficModel,
+    effective_fetch_cells,
+    effective_write_cells,
+    seven_point_offsets,
+)
+
+shapes = st.tuples(st.integers(4, 256), st.integers(4, 256), st.integers(4, 256))
+caches = st.integers(16 * 1024, 64 * (1 << 20))
+
+
+class TestTrafficModelProperties:
+    @given(shapes, caches)
+    @settings(max_examples=80, deadline=None)
+    def test_passes_bounded(self, shape, cache_bytes):
+        model = StencilTrafficModel(GcdSpec(tcc_bytes=cache_bytes))
+        passes = model.passes_for(shape, 8, seven_point_offsets())
+        assert 1 <= passes <= 9  # between perfect reuse and per-offset streams
+
+    @given(shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_cache_never_more_traffic(self, shape):
+        small = StencilTrafficModel(GcdSpec(tcc_bytes=64 * 1024))
+        large = StencilTrafficModel(GcdSpec(tcc_bytes=64 * (1 << 20)))
+        offsets = seven_point_offsets()
+        assert large.passes_for(shape, 8, offsets) <= small.passes_for(shape, 8, offsets)
+
+    @given(shapes, caches)
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_at_least_compulsory(self, shape, cache_bytes):
+        """Fetch can never go below one full pass (compulsory misses)."""
+        model = StencilTrafficModel(GcdSpec(tcc_bytes=cache_bytes))
+        est = model.estimate(
+            shape, 8, {"u": seven_point_offsets()}, {"ut": {(0, 0, 0)}}
+        )
+        array_bytes = int(np.prod(shape)) * 8
+        assert est.fetch_bytes >= array_bytes
+        assert est.write_bytes == array_bytes
+
+    @given(shapes, caches)
+    @settings(max_examples=60, deadline=None)
+    def test_counter_consistency(self, shape, cache_bytes):
+        model = StencilTrafficModel(GcdSpec(tcc_bytes=cache_bytes))
+        est = model.estimate(
+            shape, 8, {"u": seven_point_offsets()}, {"ut": {(0, 0, 0)}}
+        )
+        assert est.tcc_hits + est.tcc_misses == est.tcc_requests
+        assert est.tcc_hits >= 0
+        assert 0.0 <= est.hit_rate <= 1.0
+
+
+class TestEffectiveSizeProperties:
+    @given(shapes)
+    @settings(max_examples=80, deadline=None)
+    def test_effective_bounds(self, shape):
+        cells = int(np.prod(shape))
+        fetch = effective_fetch_cells(shape)
+        write = effective_write_cells(shape)
+        assert 0 <= write <= fetch <= cells
+
+    @given(st.integers(4, 2048))
+    @settings(max_examples=60, deadline=None)
+    def test_eq4_cube_forms(self, L):
+        assert effective_fetch_cells((L, L, L)) == L**3 - 8 - 12 * (L - 2)
+        assert effective_write_cells((L, L, L)) == (L - 2) ** 3

@@ -1,0 +1,94 @@
+"""Property-based tests of collectives and the Cartesian topology."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.cart import dims_create
+from repro.mpi.executor import run_spmd
+
+
+class TestDimsCreateProperties:
+    @given(st.integers(1, 5000), st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_product_and_order(self, n, ndims):
+        dims = dims_create(n, ndims)
+        assert math.prod(dims) == n
+        assert list(dims) == sorted(dims, reverse=True)
+        assert all(d >= 1 for d in dims)
+
+    @given(st.integers(0, 12))
+    @settings(max_examples=13, deadline=None)
+    def test_powers_of_two_balanced(self, k):
+        """Power-of-8 counts split perfectly (the paper's ladder)."""
+        dims = dims_create(8**min(k, 4), 3)
+        assert len(set(dims)) == 1
+
+
+class TestCartCoordsProperties:
+    @given(
+        st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 3)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_coords_rank_bijection(self, dims):
+        nranks = math.prod(dims)
+
+        def body(comm):
+            cart = comm.create_cart(dims)
+            return cart.rank_of(cart.coords()) == cart.rank
+
+        assert all(run_spmd(body, nranks, timeout=60))
+
+    @given(st.sampled_from([(2, 2, 2), (4, 2, 1), (3, 3, 1)]))
+    @settings(max_examples=3, deadline=None)
+    def test_shift_inverse(self, dims):
+        """shift source/dest are mutual inverses on periodic topologies."""
+        nranks = math.prod(dims)
+
+        def body(comm):
+            cart = comm.create_cart(dims, periods=(True,) * 3)
+            table = comm.allgather(
+                tuple(cart.shift(d, 1) for d in range(3))
+            )
+            for rank, shifts in enumerate(table):
+                for direction in range(3):
+                    source, dest = shifts[direction]
+                    # my dest's source along the same axis is me
+                    assert table[dest][direction][0] == rank
+                    assert table[source][direction][1] == rank
+            return True
+
+        assert all(run_spmd(body, nranks, timeout=60))
+
+
+class TestCollectiveProperties:
+    @given(st.integers(1, 10), st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_sum_any_size(self, size, base):
+        def body(comm):
+            return comm.allreduce(base + comm.rank, "sum")
+
+        expected = size * base + size * (size - 1) // 2
+        assert run_spmd(body, size, timeout=60) == [expected] * size
+
+    @given(st.integers(1, 8), st.integers(0, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_bcast_any_root(self, size, root_raw):
+        root = root_raw % size
+
+        def body(comm):
+            return comm.bcast(("payload", root) if comm.rank == root else None, root)
+
+        assert run_spmd(body, size, timeout=60) == [("payload", root)] * size
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_allgather_is_gather_plus_bcast(self, size):
+        def body(comm):
+            ag = comm.allgather(comm.rank * 3)
+            gathered = comm.gather(comm.rank * 3, root=0)
+            gb = comm.bcast(gathered, root=0)
+            return ag == gb
+
+        assert all(run_spmd(body, size, timeout=60))

@@ -1,0 +1,84 @@
+"""Property-based streaming test: arbitrary step sequences round-trip."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adios.api import Adios
+from repro.adios.sst import END_OF_STREAM, OK, SstBroker, SSTReader
+
+_stream_ids = iter(range(10**9))
+
+
+@st.composite
+def stream_case(draw):
+    nsteps = draw(st.integers(0, 6))
+    shape = tuple(draw(st.integers(1, 4)) for _ in range(3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return nsteps, shape, seed
+
+
+class TestStreamRoundTripProperties:
+    @given(stream_case())
+    @settings(max_examples=25, deadline=None)
+    def test_every_step_arrives_in_order_and_intact(self, case):
+        nsteps, shape, seed = case
+        SstBroker.reset()
+        name = f"prop-{next(_stream_ids)}"
+        rng = np.random.default_rng(seed)
+        frames = [np.asfortranarray(rng.random(shape)) for _ in range(nsteps)]
+
+        def produce():
+            io = Adios().declare_io("w")
+            io.set_engine("SST")
+            u = io.define_variable("U", np.float64, shape=shape, count=shape)
+            with io.open(name, "w") as writer:
+                for frame in frames:
+                    writer.begin_step()
+                    writer.put(u, frame)
+                    writer.end_step()
+
+        thread = threading.Thread(target=produce, daemon=True)
+        thread.start()
+        reader = SSTReader(None, name)
+        received = []
+        while reader.begin_step(timeout=30) == OK:
+            received.append(reader.get("U"))
+            reader.end_step()
+        thread.join(10)
+        assert reader.begin_step() == END_OF_STREAM
+        assert len(received) == nsteps
+        for sent, got in zip(frames, received):
+            assert np.array_equal(sent, got)
+
+    @given(st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_queue_limit_never_loses_steps(self, queue_limit, extra):
+        """Producer faster than consumer, tiny queue: all steps arrive."""
+        SstBroker.reset()
+        nsteps = queue_limit + extra + 2
+        name = f"bp-{next(_stream_ids)}"
+
+        def produce():
+            io = Adios().declare_io("w")
+            io.set_engine("SST")
+            io.set_parameter("QueueLimit", queue_limit)
+            var = io.define_variable("x", np.float64)
+            with io.open(name, "w") as writer:
+                for s in range(nsteps):
+                    writer.begin_step()
+                    writer.put(var, np.float64(s))
+                    writer.end_step()
+
+        thread = threading.Thread(target=produce, daemon=True)
+        thread.start()
+        reader = SSTReader(None, name)
+        values = []
+        while reader.begin_step(timeout=30) == OK:
+            values.append(reader.get_scalar("x"))
+            reader.end_step()
+        thread.join(10)
+        assert values == [float(s) for s in range(nsteps)]

@@ -1,0 +1,124 @@
+import pytest
+
+from repro.cli import main
+from repro.core.settings import GrayScottSettings
+
+
+@pytest.fixture
+def settings_file(tmp_path):
+    path = tmp_path / "settings.json"
+    GrayScottSettings(
+        L=12, steps=6, plotgap=3, noise=0.05, output=str(tmp_path / "cli.bp")
+    ).save(path)
+    return path
+
+
+class TestCliRun:
+    def test_run_workflow(self, settings_file, capsys):
+        assert main(["run", str(settings_file)]) == 0
+        out = capsys.readouterr().out
+        assert "workflow report" in out
+
+    def test_run_missing_settings(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 1
+        assert "grayscott:" in capsys.readouterr().err
+
+
+class TestCliAnalyze:
+    def test_analyze_dataset(self, settings_file, tmp_path, capsys):
+        main(["run", str(settings_file)])
+        capsys.readouterr()
+        assert main(["analyze", str(tmp_path / "cli.bp")]) == 0
+        out = capsys.readouterr().out
+        assert "V centre slice" in out
+        assert "pattern:" in out
+
+    def test_analyze_missing(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "none.bp")]) == 1
+
+
+class TestCliBpls:
+    def test_bpls(self, settings_file, tmp_path, capsys):
+        main(["run", str(settings_file)])
+        capsys.readouterr()
+        assert main(["bpls", str(tmp_path / "cli.bp")]) == 0
+        assert "Min/Max" in capsys.readouterr().out
+
+
+class TestCliBench:
+    @pytest.mark.parametrize("target", ["table1", "table2", "table3", "listing4"])
+    def test_fast_bench_targets(self, target, capsys):
+        assert main(["bench", target]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig7_bench(self, capsys):
+        assert main(["bench", "fig7"]) == 0
+        assert "JIT" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "table9"])
+
+
+class TestCliTrace:
+    def test_trace_with_gpu_backend(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        GrayScottSettings(
+            L=12, steps=4, plotgap=2, noise=0.0, backend="julia",
+            output=str(tmp_path / "t.bp"),
+        ).save(path)
+        csv_path = tmp_path / "results.csv"
+        assert main(["run", str(path), "--trace", str(csv_path)]) == 0
+        assert csv_path.read_text().startswith('"Index"')
+        assert "_kernel_gray_scott" in csv_path.read_text()
+
+    def test_trace_rejected_on_cpu(self, settings_file, tmp_path, capsys):
+        assert main(["run", str(settings_file), "--trace", str(tmp_path / "x.csv")]) == 2
+        assert "GPU backend" in capsys.readouterr().err
+
+
+class TestCliCampaign:
+    def test_campaign_sweep(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        GrayScottSettings(L=12, steps=4, plotgap=2, noise=0.0).save(base)
+        assert main([
+            "campaign", str(base),
+            "--regimes", "paper,alpha",
+            "--workdir", str(tmp_path),
+            "--provenance", str(tmp_path / "prov.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign: 2 runs" in out
+        assert (tmp_path / "paper.bp").exists()
+        assert (tmp_path / "alpha.bp").exists()
+        assert (tmp_path / "prov.json").exists()
+
+    def test_unknown_regime(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        GrayScottSettings(L=12, steps=2).save(base)
+        assert main(["campaign", str(base), "--regimes", "omega"]) == 2
+        assert "unknown regime" in capsys.readouterr().err
+
+
+class TestCliCompare:
+    def _make(self, tmp_path, name, seed=42):
+        path = tmp_path / f"{name}.json"
+        GrayScottSettings(
+            L=12, steps=4, plotgap=2, noise=0.01, seed=seed,
+            output=str(tmp_path / f"{name}.bp"),
+        ).save(path)
+        main(["run", str(path)])
+        return tmp_path / f"{name}.bp"
+
+    def test_identical_datasets(self, tmp_path, capsys):
+        a = self._make(tmp_path, "a")
+        b = self._make(tmp_path, "b")
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b), "--strict"]) == 0
+        assert "bitwise identical" in capsys.readouterr().out
+
+    def test_strict_fails_on_difference(self, tmp_path, capsys):
+        a = self._make(tmp_path, "c", seed=1)
+        b = self._make(tmp_path, "d", seed=2)
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b), "--strict"]) == 1

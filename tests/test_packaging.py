@@ -1,0 +1,63 @@
+"""Packaging smoke tests: entry points and public imports."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+class TestEntryPoints:
+    def test_cli_module_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0
+        for command in ("run", "analyze", "bpls", "bench", "campaign", "compare"):
+            assert command in proc.stdout
+
+    def test_bpls_module_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.adios.bpls", "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "Listing 1" in proc.stdout
+
+
+class TestPublicImports:
+    def test_top_level_lazy_exports(self):
+        import repro
+
+        assert repro.GrayScottSettings is not None
+        assert repro.Simulation is not None
+        assert repro.Workflow is not None
+        with pytest.raises(AttributeError):
+            repro.NotAThing  # noqa: B018
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.util", "repro.cluster", "repro.gpu", "repro.mpi",
+            "repro.adios", "repro.core", "repro.analysis", "repro.bench",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        import importlib
+
+        importlib.import_module(module)
+
+    def test_all_exports_resolve(self):
+        import importlib
+
+        for module_name in ("repro.util", "repro.mpi", "repro.adios",
+                            "repro.core", "repro.analysis", "repro.gpu"):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.util.rngs import RngStream, seed_for
+
+
+class TestSeedFor:
+    def test_deterministic(self):
+        a = np.random.Generator(np.random.Philox(seed_for(1, "x", 2)))
+        b = np.random.Generator(np.random.Philox(seed_for(1, "x", 2)))
+        assert a.random() == b.random()
+
+    def test_key_sensitivity(self):
+        a = np.random.Generator(np.random.Philox(seed_for(1, "x", 2)))
+        b = np.random.Generator(np.random.Philox(seed_for(1, "x", 3)))
+        assert a.random() != b.random()
+
+    def test_root_seed_sensitivity(self):
+        a = np.random.Generator(np.random.Philox(seed_for(1, "x")))
+        b = np.random.Generator(np.random.Philox(seed_for(2, "x")))
+        assert a.random() != b.random()
+
+    def test_string_and_int_keys_mix(self):
+        assert seed_for(0, "a", 1).spawn_key != seed_for(0, "a", 2).spawn_key
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            seed_for(0, -1)
+
+    def test_bad_key_type_rejected(self):
+        with pytest.raises(TypeError):
+            seed_for(0, 1.5)  # type: ignore[arg-type]
+
+
+class TestRngStream:
+    def test_child_extends_key(self):
+        stream = RngStream(7, ("noise",))
+        child = stream.child(3)
+        assert child.key == ("noise", 3)
+        assert child.root_seed == 7
+
+    def test_generator_reproducible(self):
+        s = RngStream(7)
+        assert s.generator("a").random() == s.generator("a").random()
+
+    def test_independent_substreams(self):
+        s = RngStream(7)
+        x = s.generator("a").random(100)
+        y = s.generator("b").random(100)
+        assert not np.array_equal(x, y)
+
+    def test_uniform_field_range_and_shape(self):
+        s = RngStream(7, ("noise",))
+        field = s.uniform_field((4, 5, 6), "step", 3)
+        assert field.shape == (4, 5, 6)
+        assert field.min() >= -1.0
+        assert field.max() < 1.0
+
+    def test_uniform_field_deterministic(self):
+        s = RngStream(7, ("noise",))
+        a = s.uniform_field((3, 3, 3), 0)
+        b = s.uniform_field((3, 3, 3), 0)
+        assert np.array_equal(a, b)
+
+    def test_frozen(self):
+        s = RngStream(7)
+        with pytest.raises(Exception):
+            s.root_seed = 8  # type: ignore[misc]

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_alignment(self):
+        t = Table(["Kernel", "GB/s"], title="Table 2")
+        t.add_row(["HIP", 1163])
+        t.add_row(["Julia GrayScott.jl", 570])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        # all data rows align on the second column
+        col = lines[1].index("GB/s")
+        assert lines[3].rstrip()[col:].strip() == "1,163"
+
+    def test_row_width_mismatch_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([0.0001234])
+        t.add_row([3.14159])
+        t.add_row([12345.6])
+        t.add_row([0])
+        body = t.render()
+        assert "0.0001234" in body
+        assert "3.14" in body
+        assert "12,346" in body
+
+    def test_no_title(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "a"
+
+    def test_str_same_as_render(self):
+        t = Table(["a"])
+        t.add_row(["x"])
+        assert str(t) == t.render()

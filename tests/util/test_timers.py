@@ -1,0 +1,59 @@
+import pytest
+
+from repro.util.timers import SimClock, Stopwatch, WallTimer
+
+
+class TestWallTimer:
+    def test_measures_nonnegative(self):
+        with WallTimer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert WallTimer().elapsed == 0.0
+
+
+class TestStopwatch:
+    def test_sections_accumulate(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.section("a"):
+                pass
+        assert sw.counts["a"] == 3
+        assert sw.totals["a"] >= 0.0
+        assert sw.mean("a") == pytest.approx(sw.totals["a"] / 3)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().add("x", -1.0)
+
+    def test_manual_add(self):
+        sw = Stopwatch()
+        sw.add("io", 1.5)
+        sw.add("io", 0.5)
+        assert sw.totals["io"] == pytest.approx(2.0)
+        assert sw.mean("io") == pytest.approx(1.0)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now == 2.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_max_semantics(self):
+        clock = SimClock(5.0)
+        assert clock.advance_to(3.0) == 5.0  # no going back
+        assert clock.advance_to(7.0) == 7.0
+
+    def test_copy_is_independent(self):
+        clock = SimClock(1.0)
+        other = clock.copy()
+        other.advance(1.0)
+        assert clock.now == 1.0
+        assert other.now == 2.0

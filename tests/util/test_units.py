@@ -1,0 +1,99 @@
+import pytest
+
+from repro.util.units import (
+    GB,
+    GiB,
+    KB,
+    MB,
+    TB,
+    format_bandwidth,
+    format_bytes,
+    format_seconds,
+    parse_bytes,
+)
+
+
+class TestFormatBytes:
+    def test_gb(self):
+        assert format_bytes(25_080_000_000) == "25.08 GB"
+
+    def test_binary(self):
+        assert format_bytes(8 * GiB, binary=True) == "8.00 GiB"
+
+    def test_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_tb(self):
+        assert format_bytes(5.5 * TB) == "5.50 TB"
+
+    def test_precision(self):
+        assert format_bytes(1_234_000_000, precision=1) == "1.2 GB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatBandwidth:
+    def test_gb_s(self):
+        assert format_bandwidth(1_163_000_000_000) == "1163.0 GB/s"
+
+    def test_tb_s(self):
+        assert format_bandwidth(55 * TB) == "55.0 TB/s"
+
+    def test_kb_s(self):
+        assert format_bandwidth(500_000) == "500.0 KB/s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bandwidth(-5)
+
+
+class TestFormatSeconds:
+    def test_ms(self):
+        assert format_seconds(0.02874) == "28.74 ms"
+
+    def test_us(self):
+        assert format_seconds(2e-6) == "2.00 us"
+
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.50 s"
+
+    def test_minutes(self):
+        assert format_seconds(600) == "10.00 min"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-0.1)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64 GiB", 64 * GiB),
+            ("5.5TB", int(5.5 * TB)),
+            ("100", 100),
+            ("1 kb", KB),
+            ("2.5 MB", int(2.5 * MB)),
+            ("0B", 0),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_numeric_passthrough(self):
+        assert parse_bytes(12345) == 12345
+        assert parse_bytes(1.5 * GB) == int(1.5 * GB)
+
+    @pytest.mark.parametrize("bad", ["", "GB", "1.2.3 MB", "-5 GB", "5 XB"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
