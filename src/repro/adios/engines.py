@@ -20,6 +20,7 @@ step from the intersecting blocks, verifying CRCs.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -27,6 +28,7 @@ import numpy as np
 
 from repro.adios import bp5
 from repro.adios.variable import Attribute, BlockInfo, Variable
+from repro.observe import trace as observe
 from repro.util.errors import EngineStateError, VariableError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,6 +37,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _TAG_BLOCKS = 1
 _TAG_META = 2
+
+
+def _adios_span(rank: int, name: str, **args):
+    """Wall-clock tracer span on this rank's adios lane (or a no-op)."""
+    tracer = observe.active()
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(
+        name, cat="adios", process=f"rank{rank}", thread="adios", args=args
+    )
 
 
 @dataclass
@@ -125,6 +137,16 @@ class BP5Writer:
         self._in_step = True
         self._step += 1
         self._deferred.clear()
+        tracer = observe.active()
+        if tracer is not None:
+            tracer.instant(
+                "begin_step",
+                cat="adios",
+                clock=observe.WALL,
+                process=f"rank{self.rank}",
+                thread="adios",
+                args={"step": self._step},
+            )
         return self._step
 
     def put(self, variable: Variable | str, data) -> None:
@@ -138,18 +160,35 @@ class BP5Writer:
                 f"variable {variable.name!r} was not defined on IO {self.io.name!r}"
             )
         arr = variable.validate_data(data)
-        # sync semantics: snapshot the data AND the selection now, so a
-        # caller may re-select the same variable and put again within
-        # one step (one block per selection)
-        self._deferred.append(
-            (variable, np.array(arr, copy=True, order="F"),
-             variable.start, variable.count)
-        )
+        with _adios_span(
+            self.rank, "put", var=variable.name, bytes=arr.nbytes
+        ):
+            # sync semantics: snapshot the data AND the selection now, so a
+            # caller may re-select the same variable and put again within
+            # one step (one block per selection)
+            self._deferred.append(
+                (variable, np.array(arr, copy=True, order="F"),
+                 variable.start, variable.count)
+            )
         self.stats.put_bytes += arr.nbytes
+        tracer = observe.active()
+        if tracer is not None:
+            tracer.metrics.counter("adios.put.bytes", rank=self.rank).inc(
+                arr.nbytes
+            )
 
     def end_step(self) -> None:
         if not self._in_step:
             raise EngineStateError("end_step without begin_step")
+        with _adios_span(
+            self.rank, "end_step", step=self._step, subfile=self._subfile
+        ):
+            self._end_step_inner()
+        tracer = observe.active()
+        if tracer is not None:
+            tracer.metrics.counter("adios.steps", rank=self.rank).inc()
+
+    def _end_step_inner(self) -> None:
         started = time.perf_counter()
         local_blocks = self._serialize_deferred()
         if self.comm is None:
@@ -243,31 +282,44 @@ class BP5Writer:
         """
         blocks: list[BlockInfo] = []
         summaries: dict[str, tuple[str, tuple]] = {}
-        for writer_rank, records in incoming:
-            for rec in records:
-                if rec["scalar"] is not None or rec["payload"] == b"":
-                    offset = 0
-                else:
-                    offset = bp5.append_block(self.path, self._subfile, rec["payload"])
-                summaries[rec["var"]] = (rec["dtype"], tuple(rec["shape"]))
-                blocks.append(
-                    BlockInfo(
-                        var=rec["var"],
-                        step=self._step,
-                        writer_rank=writer_rank,
-                        subfile=self._subfile,
-                        offset=offset,
-                        nbytes=len(rec["payload"]),
-                        start=tuple(rec["start"]),
-                        count=tuple(rec["count"]),
-                        vmin=rec["min"],
-                        vmax=rec["max"],
-                        crc32=rec["crc"],
-                        value=rec["scalar"],
-                        codec=rec.get("codec"),
-                        raw_nbytes=rec.get("raw_nbytes", 0),
+        flushed = sum(
+            len(rec["payload"]) for _, records in incoming for rec in records
+        )
+        with _adios_span(
+            self.rank, "subfile.flush", subfile=self._subfile, bytes=flushed
+        ):
+            for writer_rank, records in incoming:
+                for rec in records:
+                    if rec["scalar"] is not None or rec["payload"] == b"":
+                        offset = 0
+                    else:
+                        offset = bp5.append_block(
+                            self.path, self._subfile, rec["payload"]
+                        )
+                    summaries[rec["var"]] = (rec["dtype"], tuple(rec["shape"]))
+                    blocks.append(
+                        BlockInfo(
+                            var=rec["var"],
+                            step=self._step,
+                            writer_rank=writer_rank,
+                            subfile=self._subfile,
+                            offset=offset,
+                            nbytes=len(rec["payload"]),
+                            start=tuple(rec["start"]),
+                            count=tuple(rec["count"]),
+                            vmin=rec["min"],
+                            vmax=rec["max"],
+                            crc32=rec["crc"],
+                            value=rec["scalar"],
+                            codec=rec.get("codec"),
+                            raw_nbytes=rec.get("raw_nbytes", 0),
+                        )
                     )
-                )
+        tracer = observe.active()
+        if tracer is not None:
+            tracer.metrics.counter(
+                "adios.subfile.bytes", subfile=self._subfile
+            ).inc(flushed)
         return blocks, summaries
 
     def _merge_index(self, blocks: list[BlockInfo], summaries: dict) -> None:

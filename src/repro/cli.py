@@ -4,6 +4,10 @@ Commands:
 
 - ``run <settings.json>`` — run the end-to-end workflow from a settings
   file (the artifact's usage pattern) and print the provenance report;
+  ``--trace-out``/``--metrics-out`` capture a Chrome/Perfetto trace and
+  a metrics JSON through :mod:`repro.observe`;
+- ``trace <trace.json>`` — summarize a trace written by
+  ``run --trace-out`` (per-category totals, lanes, ASCII timeline);
 - ``analyze <dataset.bp>`` — summarize a dataset and render the centre
   V slice as an ASCII heatmap (the Figure 9 session, in a terminal);
 - ``bpls <dataset.bp>`` — the Listing 1 provenance record;
@@ -23,9 +27,14 @@ import sys
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.settings import GrayScottSettings
     from repro.core.workflow import Workflow
+    from repro.observe import trace as observe
 
     settings = GrayScottSettings.load(args.settings)
-    workflow = Workflow(settings)
+    if args.ranks is not None:
+        settings = settings.with_overrides(ranks=args.ranks)
+    nranks = settings.ranks
+
+    profiler = None
     if args.trace:
         if settings.backend == "cpu":
             print("grayscott: --trace needs a GPU backend (julia/hip)",
@@ -34,12 +43,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.gpu.rocprof import Profiler
 
         profiler = Profiler()
-        workflow.sim.device.profiler = profiler
-    report = workflow.run()
+    tracing = bool(args.trace_out or args.metrics_out)
+
+    def run_one(comm=None):
+        workflow = Workflow(settings, comm)
+        if profiler is not None and workflow.sim.device is not None:
+            workflow.sim.device.profiler = profiler
+        return workflow.run(), workflow.sim.wall
+
+    def execute():
+        if nranks > 1:
+            from repro.mpi.executor import run_spmd
+
+            # rank 0's report carries the analysis + metrics summary
+            return run_spmd(run_one, nranks, collect_stats=tracing)[0]
+        return run_one()
+
+    if tracing:
+        with observe.session() as tracer:
+            report, wall = execute()
+            if args.trace_out:
+                from repro.observe.export import write_chrome_trace
+
+                write_chrome_trace(tracer, args.trace_out)
+            if args.metrics_out:
+                from repro.observe.export import write_metrics_json
+
+                write_metrics_json(tracer.metrics, args.metrics_out)
+    else:
+        report, wall = execute()
     print(report.render())
+    if args.timings:
+        print(wall.render())
     if args.trace:
         profiler.report().write_csv(args.trace)
         print(f"rocprof-style trace written to {args.trace}")
+    if args.trace_out:
+        print(f"chrome trace written to {args.trace_out} "
+              "(load it at https://ui.perfetto.dev)")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observe.export import load_chrome_trace, summarize_chrome_trace
+
+    obj = load_chrome_trace(args.trace)
+    print(summarize_chrome_trace(obj, width=args.width))
     return 0
 
 
@@ -179,7 +230,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="CSV",
         help="write a rocprof-style results.csv (GPU backends only)",
     )
+    p_run.add_argument(
+        "--trace-out", metavar="JSON",
+        help="write a Chrome/Perfetto trace of the whole run",
+    )
+    p_run.add_argument(
+        "--metrics-out", metavar="JSON",
+        help="write the collected metrics registry as JSON",
+    )
+    p_run.add_argument(
+        "--ranks", type=int, metavar="N",
+        help="override settings.ranks (simulated MPI ranks; 0/1 = serial)",
+    )
+    p_run.add_argument(
+        "--timings", action="store_true",
+        help="print this rank's wall-time section table",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_tr = sub.add_parser("trace", help="summarize a Chrome trace JSON file")
+    p_tr.add_argument("trace", help="path to a trace written by run --trace-out")
+    p_tr.add_argument("--width", type=int, default=72)
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_an = sub.add_parser("analyze", help="summarize + render a dataset")
     p_an.add_argument("dataset", help="path to a .bp dataset")

@@ -61,6 +61,8 @@ class GrayScottSettings:
     #: Listing 3) or "overlapped" (post-all-then-wait; valid because the
     #: 7-point stencil reads face ghosts only)
     exchange: str = "sequential"
+    #: simulated MPI ranks for CLI runs; 0/1 means serial
+    ranks: int = 0
 
     def __post_init__(self) -> None:
         if self.L < 4:
@@ -88,6 +90,8 @@ class GrayScottSettings:
             raise ConfigError(
                 f"exchange must be sequential|overlapped (got {self.exchange!r})"
             )
+        if self.ranks < 0:
+            raise ConfigError(f"ranks must be >= 0 (got {self.ranks})")
         # validate the physics eagerly so bad settings files fail at load
         self.params()
 

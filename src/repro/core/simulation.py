@@ -21,6 +21,7 @@ any decomposition and any backend produce bitwise-identical fields.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.gpu.memory import Device, DeviceArray
 from repro.gpu.rocprof import Profiler
 from repro.mpi.cart import CartComm, dims_create
 from repro.mpi.comm import Comm
+from repro.observe import trace as observe
 from repro.util.errors import ConfigError
 from repro.util.timers import Stopwatch
 
@@ -222,11 +224,25 @@ class Simulation:
         face_bytes = 2 * (m1 * m2 + m0 * m2 + m0 * m1) * itemsize  # 6 faces
         self.device.record_transfer(kind, 2 * face_bytes)  # both variables
 
+    def _observe_span(self, name: str) -> "nullcontext | object":
+        """A wall-clock tracer span on this rank's core lane (or a no-op)."""
+        tracer = observe.active()
+        if tracer is None:
+            return nullcontext()
+        rank = self.cart.rank if self.cart is not None else 0
+        return tracer.span(
+            name,
+            cat="core",
+            process=f"rank{rank}",
+            thread="core",
+            args={"step": self.step_count},
+        )
+
     def step(self) -> None:
         """Advance one time step (exchange + stencil update + swap)."""
-        with self.wall.section("exchange"):
+        with self.wall.section("exchange"), self._observe_span("step.exchange"):
             self.exchange()
-        with self.wall.section("compute"):
+        with self.wall.section("compute"), self._observe_span("step.compute"):
             if self.device is None:
                 step_vectorized(
                     self.u, self.v, self.u_new, self.v_new, self.params,
@@ -240,6 +256,10 @@ class Simulation:
         if self.device is not None:
             self._wrap_device_fields()
         self.step_count += 1
+        tracer = observe.active()
+        if tracer is not None:
+            rank = self.cart.rank if self.cart is not None else 0
+            tracer.metrics.counter("core.steps", rank=rank).inc()
 
     def _launch_gpu_step(self) -> None:
         assert self.device is not None and self._kernel is not None

@@ -11,6 +11,7 @@ in the :class:`WorkflowReport`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro._version import __version__
@@ -19,6 +20,7 @@ from repro.core.settings import GrayScottSettings
 from repro.core.simulation import Simulation
 from repro.core.writer import SimulationWriter
 from repro.mpi.comm import Comm
+from repro.observe import trace as observe
 from repro.util.timers import WallTimer
 
 
@@ -33,10 +35,12 @@ class WorkflowReport:
     checkpoints: list[str] = field(default_factory=list)
     wall_seconds: float = 0.0
     analysis: dict = field(default_factory=dict)
+    #: observability summary (populated when a tracer was active)
+    metrics: dict = field(default_factory=dict)
 
     def provenance(self) -> dict:
         """The machine-readable provenance record."""
-        return {
+        record = {
             "workflow": "gray-scott",
             "repro_version": __version__,
             "inputs": self.settings.params().as_attributes()
@@ -50,6 +54,9 @@ class WorkflowReport:
             },
             "derived": dict(self.analysis),
         }
+        if self.metrics:
+            record["metrics"] = dict(self.metrics)
+        return record
 
     def render(self) -> str:
         from repro.util.tables import Table
@@ -72,6 +79,16 @@ class Workflow:
         self.settings = settings
         self.comm = comm
         self.sim = Simulation(settings, comm)
+
+    def _stage_span(self, name: str, **args):
+        """A wall-clock tracer span for one workflow stage (or a no-op)."""
+        tracer = observe.active()
+        if tracer is None:
+            return nullcontext()
+        rank = self.sim.cart.rank if self.sim.cart is not None else 0
+        return tracer.span(
+            name, cat="core", process=f"rank{rank}", thread="core", args=args
+        )
 
     def run(self, *, analyze: bool = True, resume: bool = False) -> WorkflowReport:
         """Execute the full workflow; returns the provenance report.
@@ -106,27 +123,47 @@ class Workflow:
         writer = SimulationWriter(
             self.sim, settings.output, comm=self.sim.cart, mode=mode
         )
-        with WallTimer() as timer:
+        with WallTimer() as timer, self._stage_span(
+            "workflow.run", steps=settings.steps, resume=resume
+        ):
             if not resume:
-                writer.write()  # step 0 snapshot
+                with self._stage_span("workflow.output", step=0):
+                    writer.write()  # step 0 snapshot
                 report.output_steps += 1
             for _ in range(settings.steps - start_step):
                 self.sim.step()
                 report.steps_run += 1
                 if self.sim.step_count % settings.plotgap == 0:
-                    writer.write()
+                    with self._stage_span(
+                        "workflow.output", step=self.sim.step_count
+                    ):
+                        writer.write()
                     report.output_steps += 1
                 if (
                     settings.checkpoint
                     and self.sim.step_count % settings.checkpoint_freq == 0
                 ):
-                    report.checkpoints.append(write_checkpoint(self.sim))
+                    with self._stage_span(
+                        "workflow.checkpoint", step=self.sim.step_count
+                    ):
+                        report.checkpoints.append(write_checkpoint(self.sim))
             writer.close()
         report.wall_seconds = timer.elapsed
 
         is_root = self.sim.cart is None or self.sim.cart.rank == 0
         if analyze and is_root:
-            report.analysis = self._analyze(settings.output)
+            with self._stage_span("workflow.analysis"):
+                report.analysis = self._analyze(settings.output)
+        tracer = observe.active()
+        if tracer is not None:
+            if self.sim.cart is not None:
+                self.sim.cart.barrier()  # all traffic recorded before export
+            if is_root:
+                # job stats are shared across ranks; export them once
+                cart = self.sim.cart
+                if cart is not None and cart.job.stats is not None:
+                    cart.job.stats.to_metrics(tracer.metrics)
+                report.metrics = tracer.metrics.summary()
         return report
 
     @staticmethod

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.cluster.frontier import GcdSpec
+from repro.observe import trace as observe
 from repro.util.errors import DeviceMemoryError, GpuError
 from repro.util.timers import SimClock
 
@@ -171,6 +172,24 @@ class Device:
         self.clock.advance(seconds)
         if self.profiler is not None:
             self.profiler.record_copy(self.name, kind, nbytes, start, seconds)
+        tracer = observe.active()
+        if tracer is not None:
+            tracer.add_span(
+                f"memcpy.{kind}",
+                cat="gpu",
+                clock=observe.SIM,
+                process=self.name,
+                thread="copy",
+                start=start,
+                seconds=seconds,
+                args={"bytes": nbytes, "kind": kind},
+            )
+            tracer.metrics.counter(
+                "gpu.copy.bytes", device=self.name, kind=kind
+            ).inc(nbytes)
+            tracer.metrics.counter(
+                "gpu.copy.count", device=self.name, kind=kind
+            ).inc()
 
     # ------------------------------------------------------------------
     # kernel launch
@@ -191,12 +210,30 @@ class Device:
         compiled, compile_seconds = self.jit.compile(kernel, args)
         if self.aot:
             compile_seconds = 0.0
+        tracer = observe.active()
         if compile_seconds > 0.0:
             start = self.clock.now
             self.clock.advance(compile_seconds)
             if self.profiler is not None:
                 self.profiler.record_compile(
                     self.name, kernel.name, start, compile_seconds
+                )
+            if tracer is not None:
+                tracer.add_span(
+                    f"jit.{kernel.name}",
+                    cat="gpu",
+                    clock=observe.SIM,
+                    process=self.name,
+                    thread="jit",
+                    start=start,
+                    seconds=compile_seconds,
+                    args={"kernel": kernel.name, "backend": self.backend.name},
+                )
+                tracer.metrics.counter(
+                    "gpu.jit.compiles", device=self.name
+                ).inc()
+                tracer.metrics.histogram("gpu.jit.seconds").observe(
+                    compile_seconds
                 )
 
         if self.exact_execution:
@@ -207,4 +244,24 @@ class Device:
         self.clock.advance(cost.seconds)
         if self.profiler is not None:
             self.profiler.record_kernel(self.name, kernel.name, start, cost, config)
+        if tracer is not None:
+            tracer.add_span(
+                kernel.name,
+                cat="gpu",
+                clock=observe.SIM,
+                process=self.name,
+                thread="kernel",
+                start=start,
+                seconds=cost.seconds,
+                args={
+                    "bytes": cost.total_bytes,
+                    "workgroup_size": config.workgroup_size,
+                },
+            )
+            tracer.metrics.counter(
+                "gpu.kernel.launches", device=self.name, kernel=kernel.name
+            ).inc()
+            tracer.metrics.histogram(
+                "gpu.kernel.seconds", kernel=kernel.name
+            ).observe(cost.seconds)
         return cost

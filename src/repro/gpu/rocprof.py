@@ -18,7 +18,7 @@ from repro.bench.calibration import ROCPROF_COUNTER_SAMPLE_DIVISOR
 from repro.gpu.kernel import LaunchConfig
 from repro.gpu.perf import LaunchCost
 from repro.util.tables import Table
-from repro.util.units import GB, format_seconds
+from repro.util.units import GB
 
 
 @dataclass(frozen=True)
@@ -131,6 +131,41 @@ class Profiler:
     def report(self, device=None) -> "RocprofReport":
         return RocprofReport.from_events(self.events, device=device)
 
+    def replay_into(self, tracer) -> int:
+        """Re-emit every recorded event into a tracer as sim-clock spans.
+
+        Uses the same lane scheme as the live hooks in
+        :mod:`repro.gpu.memory` (process = device name, threads ``jit``
+        / ``kernel`` / ``copy``), so offline-collected profiles merge
+        cleanly into a trace. Returns the number of spans emitted.
+        """
+        from repro.observe import SIM
+
+        for event in self.events:
+            if event.kind == "compile":
+                name, thread = f"jit.{event.name}", "jit"
+                args = {"kernel": event.name}
+            elif event.kind == "copy":
+                name, thread = f"memcpy.{event.name}", "copy"
+                args = {"bytes": int(event.nbytes), "kind": event.name}
+            else:
+                name, thread = event.name, "kernel"
+                args = {
+                    "bytes": int(event.nbytes),
+                    "workgroup_size": event.workgroup_size,
+                }
+            tracer.add_span(
+                name,
+                cat="gpu",
+                clock=SIM,
+                process=event.device,
+                thread=thread,
+                start=event.start,
+                seconds=event.seconds,
+                args=args,
+            )
+        return len(self.events)
+
 
 @dataclass
 class RocprofReport:
@@ -226,26 +261,24 @@ class RocprofReport:
         Path(path).write_text(self.to_csv() + "\n")
 
     def render_trace(self, *, width: int = 72) -> str:
-        """Figure-5-style text timeline of kernels, copies, compiles."""
-        if not self.events:
-            return "(empty trace)"
-        t_end = max(e.end for e in self.events)
-        t_end = t_end or 1.0
-        lanes = {"compile": [], "kernel": [], "copy": []}
-        for event in self.events:
-            lanes.setdefault(event.kind, []).append(event)
-        lines = [f"trace over {format_seconds(t_end)} ({len(self.events)} events)"]
-        glyphs = {"kernel": "#", "copy": "=", "compile": "J"}
-        for kind in ("compile", "kernel", "copy"):
-            events = lanes.get(kind, [])
-            if not events:
-                continue
-            row = [" "] * width
-            for event in events:
-                lo = int(event.start / t_end * (width - 1))
-                hi = max(lo + 1, int(event.end / t_end * (width - 1)) + 1)
-                for pos in range(lo, min(hi, width)):
-                    row[pos] = glyphs[kind]
-            label = {"kernel": "GPU kernels", "copy": "memcpy", "compile": "JIT"}[kind]
-            lines.append(f"{label:>12} |{''.join(row)}|")
-        return "\n".join(lines)
+        """Figure-5-style text timeline of kernels, copies, compiles.
+
+        Rendered by the shared :func:`repro.observe.export.ascii_timeline`.
+        """
+        from repro.observe.export import ascii_timeline
+
+        labels = {"compile": "JIT", "kernel": "GPU kernels", "copy": "memcpy"}
+        glyphs = {"compile": "J", "kernel": "#", "copy": "="}
+        rows = [
+            (
+                labels[kind],
+                glyphs[kind],
+                [
+                    (e.start, e.end)
+                    for e in self.events
+                    if e.kind == kind
+                ],
+            )
+            for kind in ("compile", "kernel", "copy")
+        ]
+        return ascii_timeline(rows, width=width)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 import pickle
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any
 
@@ -27,6 +28,7 @@ import numpy as np
 
 from repro.mpi.datatypes import Datatype, pack, unpack
 from repro.mpi.request import Request
+from repro.observe import trace as observe
 from repro.util.errors import CommAbort, MPIError, TruncationError
 
 ANY_SOURCE = -1
@@ -143,6 +145,21 @@ class Job:
             raise CommAbort(f"job aborted: {self._abort_error!r}")
 
 
+def _coll_span(comm: "Comm", name: str):
+    """Wall-clock tracer span for one collective call (or a no-op)."""
+    tracer = observe.active()
+    if tracer is None:
+        return nullcontext()
+    tracer.metrics.counter("mpi.coll.calls", op=name).inc()
+    return tracer.span(
+        f"coll.{name}",
+        cat="mpi",
+        process=f"rank{comm._world_rank}",
+        thread="mpi",
+        args={"rank": comm.rank, "size": comm.size},
+    )
+
+
 def _freeze_payload(data: Any) -> tuple[Any, int]:
     """Copy a payload at send time (buffered send semantics)."""
     if isinstance(data, np.ndarray):
@@ -210,6 +227,8 @@ class Comm:
             request._complete(None)
             return request
         self.job.check_abort()
+        tracer = observe.active()
+        start = tracer.wall_now() if tracer is not None else 0.0
         payload, nbytes = _freeze_payload(data)
         if self.job.stats is not None:
             self.job.stats.record_p2p(self._world_rank, self._world(dest), nbytes)
@@ -222,6 +241,20 @@ class Comm:
         )
         self.job.mailboxes[self._world(dest)].deliver(msg)
         request._complete(None)
+        if tracer is not None:
+            src, dst = self._world_rank, self._world(dest)
+            tracer.add_span(
+                "p2p.send",
+                cat="mpi",
+                clock=observe.WALL,
+                process=f"rank{src}",
+                thread="mpi",
+                start=start,
+                seconds=tracer.wall_now() - start,
+                args={"src": src, "dst": dst, "tag": tag, "bytes": nbytes},
+            )
+            tracer.metrics.counter("mpi.p2p.messages", rank=src).inc()
+            tracer.metrics.counter("mpi.p2p.bytes", rank=src).inc(nbytes)
         return request
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
@@ -251,8 +284,26 @@ class Comm:
         timeout: float | None = None,
     ) -> tuple[Any, Status]:
         """Blocking receive; returns (payload, status)."""
+        tracer = observe.active()
+        start = tracer.wall_now() if tracer is not None else 0.0
         msg = self.irecv(source, tag).wait(timeout or self.job.timeout)
         nbytes = msg.payload.nbytes if isinstance(msg.payload, np.ndarray) else 0
+        if tracer is not None:
+            tracer.add_span(
+                "p2p.recv",
+                cat="mpi",
+                clock=observe.WALL,
+                process=f"rank{self._world_rank}",
+                thread="mpi",
+                start=start,
+                seconds=tracer.wall_now() - start,
+                args={
+                    "src": msg.source,
+                    "dst": self.rank,
+                    "tag": msg.tag,
+                    "bytes": nbytes,
+                },
+            )
         return msg.payload, Status(msg.source, msg.tag, nbytes)
 
     def recv_into(
@@ -370,42 +421,50 @@ class Comm:
     def barrier(self) -> None:
         from repro.mpi.collectives import barrier
 
-        barrier(self)
+        with _coll_span(self, "barrier"):
+            barrier(self)
 
     def bcast(self, data: Any = None, root: int = 0) -> Any:
         from repro.mpi.collectives import bcast
 
-        return bcast(self, data, root)
+        with _coll_span(self, "bcast"):
+            return bcast(self, data, root)
 
     def reduce(self, value: Any, op="sum", root: int = 0) -> Any:
         from repro.mpi.collectives import reduce
 
-        return reduce(self, value, op, root)
+        with _coll_span(self, "reduce"):
+            return reduce(self, value, op, root)
 
     def allreduce(self, value: Any, op="sum") -> Any:
         from repro.mpi.collectives import allreduce
 
-        return allreduce(self, value, op)
+        with _coll_span(self, "allreduce"):
+            return allreduce(self, value, op)
 
     def gather(self, value: Any, root: int = 0):
         from repro.mpi.collectives import gather
 
-        return gather(self, value, root)
+        with _coll_span(self, "gather"):
+            return gather(self, value, root)
 
     def allgather(self, value: Any) -> list:
         from repro.mpi.collectives import allgather
 
-        return allgather(self, value)
+        with _coll_span(self, "allgather"):
+            return allgather(self, value)
 
     def scatter(self, values, root: int = 0):
         from repro.mpi.collectives import scatter
 
-        return scatter(self, values, root)
+        with _coll_span(self, "scatter"):
+            return scatter(self, values, root)
 
     def alltoall(self, values) -> list:
         from repro.mpi.collectives import alltoall
 
-        return alltoall(self, values)
+        with _coll_span(self, "alltoall"):
+            return alltoall(self, values)
 
     # ------------------------------------------------------------------
     # derived communicators
@@ -463,17 +522,20 @@ class Comm:
     def scan(self, value: Any, op="sum") -> Any:
         from repro.mpi.collectives import scan
 
-        return scan(self, value, op)
+        with _coll_span(self, "scan"):
+            return scan(self, value, op)
 
     def exscan(self, value: Any, op="sum") -> Any:
         from repro.mpi.collectives import exscan
 
-        return exscan(self, value, op)
+        with _coll_span(self, "exscan"):
+            return exscan(self, value, op)
 
     def reduce_scatter(self, values, op="sum"):
         from repro.mpi.collectives import reduce_scatter
 
-        return reduce_scatter(self, values, op)
+        with _coll_span(self, "reduce_scatter"):
+            return reduce_scatter(self, values, op)
 
     def split(self, color: int, key: int | None = None) -> "Comm | None":
         """MPI_Comm_split: partition ranks into sub-communicators.

@@ -84,6 +84,39 @@ class CommStats:
                 matrix[src, dst] = messages
         return matrix
 
+    def byte_matrix(self):
+        """(nranks x nranks) point-to-point byte-volume matrix."""
+        import numpy as np
+
+        matrix = np.zeros((self.nranks, self.nranks), dtype=np.int64)
+        with self._lock:
+            for (src, dst), (_, nbytes) in self._p2p.items():
+                matrix[src, dst] = nbytes
+        return matrix
+
+    def to_metrics(self, registry) -> None:
+        """Export every counter into a metrics registry.
+
+        Point-to-point traffic becomes ``mpi.p2p.pair.messages`` /
+        ``mpi.p2p.pair.bytes`` counters labeled by (src, dst); each
+        collective's internal traffic becomes ``mpi.coll.messages`` /
+        ``mpi.coll.bytes`` labeled by operation. Exporting is additive,
+        so stats from several jobs can accumulate in one registry.
+        """
+        with self._lock:
+            p2p_rows = list(self._p2p.items())
+            coll_rows = list(self._coll.items())
+        for (src, dst), (messages, nbytes) in p2p_rows:
+            registry.counter("mpi.p2p.pair.messages", src=src, dst=dst).inc(
+                messages
+            )
+            registry.counter("mpi.p2p.pair.bytes", src=src, dst=dst).inc(
+                nbytes
+            )
+        for name, (messages, nbytes) in coll_rows:
+            registry.counter("mpi.coll.messages", op=name).inc(messages)
+            registry.counter("mpi.coll.bytes", op=name).inc(nbytes)
+
     def render(self) -> str:
         from repro.util.tables import Table
         from repro.util.units import format_bytes

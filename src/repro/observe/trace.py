@@ -1,0 +1,287 @@
+"""The cross-layer span tracer.
+
+One :class:`Tracer` collects timeline events from every layer of a run
+— GPU kernel launches, JIT compiles, H2D/D2H copies, MPI point-to-point
+and collective calls, ADIOS step I/O, and solver/workflow stages — into
+a single event stream that the exporters in :mod:`repro.observe.export`
+turn into a Perfetto-loadable Chrome trace, a metrics JSON, or an ASCII
+timeline.
+
+Clock domains
+-------------
+
+The repo keeps two notions of time (see :mod:`repro.util.timers`): real
+**wall** time, and **sim** time — the modeled Frontier clock that the
+GPU/network/filesystem performance models advance. A span records which
+domain its timestamps live in, and a *lane* (one ``(process, thread)``
+row of the timeline) may only ever carry one domain; mixing raises
+:class:`~repro.util.errors.ObserveError`. This is the tracing-level
+version of the ``WallTimer``/``SimClock`` type separation: a modeled
+kernel duration can never be laid onto a measured I/O lane.
+
+Lanes
+-----
+
+``process`` groups related lanes (``"rank0"`` for a rank's host-side
+work, ``"gcd0"`` for a simulated device), ``thread`` names the row
+within it (``"core"``, ``"mpi"``, ``"adios"``, ``"kernel"``, ``"copy"``,
+``"jit"``). The SPMD executor runs ranks as threads of one process, so
+a single shared tracer (guarded by a lock) sees every rank.
+
+Zero overhead when disabled
+---------------------------
+
+Nothing is traced unless a tracer has been installed with
+:func:`activate` (or the :func:`session` context manager). Every
+instrumentation site starts with ``tracer = active()`` — a module
+attribute read — and does no further work when it returns ``None``, so
+existing benchmarks are unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.observe.metrics import MetricsRegistry
+from repro.util.errors import ObserveError
+
+#: measured time (``time.perf_counter`` relative to the tracer's epoch)
+WALL = "wall"
+#: modeled time (a :class:`~repro.util.timers.SimClock` timestamp)
+SIM = "sim"
+
+_CLOCKS = (WALL, SIM)
+
+#: span categories used by the built-in instrumentation
+CATEGORIES = ("core", "gpu", "mpi", "adios")
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One timeline entry: a duration span or an instant event."""
+
+    name: str
+    cat: str
+    clock: str  # WALL | SIM
+    process: str
+    thread: str
+    start: float  # seconds within the clock domain
+    seconds: float
+    args: tuple = ()  # frozen (key, value) pairs
+    ph: str = "X"  # Chrome phase: "X" complete span, "i" instant
+
+    @property
+    def end(self) -> float:
+        return self.start + self.seconds
+
+    @property
+    def lane(self) -> tuple[str, str]:
+        return (self.process, self.thread)
+
+    def arg(self, key: str, default=None):
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    def args_dict(self) -> dict:
+        return dict(self.args)
+
+
+class Tracer:
+    """Thread-safe collector of :class:`SpanRecord` entries + metrics."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self._lock = threading.Lock()
+        self.spans: list[SpanRecord] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: lane -> clock domain, for the never-mix invariant
+        self._lane_clocks: dict[tuple[str, str], str] = {}
+        self._wall_epoch = time.perf_counter()
+
+    # -- time --------------------------------------------------------------
+    def wall_now(self) -> float:
+        """Wall seconds since this tracer was created (span timebase)."""
+        return time.perf_counter() - self._wall_epoch
+
+    # -- recording ---------------------------------------------------------
+    def add_span(
+        self,
+        name: str,
+        *,
+        cat: str,
+        clock: str,
+        process: str,
+        thread: str,
+        start: float,
+        seconds: float,
+        args: dict | None = None,
+        ph: str = "X",
+    ) -> SpanRecord:
+        """Record a finished span with explicit timestamps.
+
+        Used directly by the performance-model layers, whose events
+        carry modeled (:data:`SIM`) timestamps; wall-clock sites usually
+        use the :meth:`span` context manager instead.
+        """
+        if clock not in _CLOCKS:
+            raise ObserveError(f"unknown clock domain {clock!r}; use {_CLOCKS}")
+        if seconds < 0:
+            raise ObserveError(f"span {name!r} has negative duration {seconds}")
+        record = SpanRecord(
+            name=name,
+            cat=cat,
+            clock=clock,
+            process=process,
+            thread=thread,
+            start=start,
+            seconds=seconds,
+            args=tuple(sorted((args or {}).items())),
+            ph=ph,
+        )
+        with self._lock:
+            known = self._lane_clocks.setdefault(record.lane, clock)
+            if known != clock:
+                raise ObserveError(
+                    f"lane {record.lane} carries {known!r}-clock spans; "
+                    f"refusing to add {clock!r}-clock span {name!r} "
+                    "(one lane, one clock domain)"
+                )
+            self.spans.append(record)
+        return record
+
+    def instant(
+        self,
+        name: str,
+        *,
+        cat: str,
+        clock: str,
+        process: str,
+        thread: str,
+        ts: float | None = None,
+        args: dict | None = None,
+    ) -> SpanRecord:
+        """Record a zero-duration marker event."""
+        if ts is None:
+            if clock != WALL:
+                raise ObserveError("sim-clock instants need an explicit ts")
+            ts = self.wall_now()
+        return self.add_span(
+            name,
+            cat=cat,
+            clock=clock,
+            process=process,
+            thread=thread,
+            start=ts,
+            seconds=0.0,
+            args=args,
+            ph="i",
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        cat: str,
+        process: str,
+        thread: str,
+        args: dict | None = None,
+    ):
+        """Measure a wall-clock span around a ``with`` block.
+
+        The span is recorded even if the block raises, so failed stages
+        still show up in the timeline.
+        """
+        start = self.wall_now()
+        try:
+            yield self
+        finally:
+            self.add_span(
+                name,
+                cat=cat,
+                clock=WALL,
+                process=process,
+                thread=thread,
+                start=start,
+                seconds=self.wall_now() - start,
+                args=args,
+            )
+
+    # -- queries -----------------------------------------------------------
+    def lanes(self) -> dict[tuple[str, str], list[SpanRecord]]:
+        """Spans grouped by (process, thread), each sorted by start."""
+        out: dict[tuple[str, str], list[SpanRecord]] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for record in spans:
+            out.setdefault(record.lane, []).append(record)
+        for records in out.values():
+            records.sort(key=lambda r: (r.start, -r.seconds))
+        return out
+
+    def by_category(self) -> dict[str, list[SpanRecord]]:
+        out: dict[str, list[SpanRecord]] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for record in spans:
+            out.setdefault(record.cat, []).append(record)
+        return out
+
+    def select(self, *, cat: str | None = None, name: str | None = None):
+        with self._lock:
+            spans = list(self.spans)
+        return [
+            r for r in spans
+            if (cat is None or r.cat == cat) and (name is None or r.name == name)
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+
+# ---------------------------------------------------------------------------
+# the global tracing switch
+# ---------------------------------------------------------------------------
+
+_active: Tracer | None = None
+_activate_lock = threading.Lock()
+
+
+def active() -> Tracer | None:
+    """The installed tracer, or None when tracing is disabled."""
+    return _active
+
+
+def activate(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process-wide tracer."""
+    global _active
+    with _activate_lock:
+        if _active is not None:
+            raise ObserveError(
+                "a tracer is already active; deactivate() it first"
+            )
+        _active = tracer if tracer is not None else Tracer()
+        return _active
+
+
+def deactivate() -> Tracer | None:
+    """Remove the installed tracer and return it (None if none was)."""
+    global _active
+    with _activate_lock:
+        tracer, _active = _active, None
+        return tracer
+
+
+@contextmanager
+def session(tracer: Tracer | None = None):
+    """``with session() as tracer:`` — activate for the block's duration."""
+    installed = activate(tracer)
+    try:
+        yield installed
+    finally:
+        deactivate()

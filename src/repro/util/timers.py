@@ -18,6 +18,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.util.errors import TimerError
+
 
 class WallTimer:
     """Context manager measuring elapsed wall time in seconds.
@@ -65,7 +67,29 @@ class Stopwatch:
         self.counts[name] = self.counts.get(name, 0) + 1
 
     def mean(self, name: str) -> float:
+        if name not in self.counts or self.counts[name] == 0:
+            recorded = ", ".join(sorted(self.totals)) or "none"
+            raise TimerError(
+                f"no samples recorded for section {name!r} "
+                f"(recorded sections: {recorded})"
+            )
         return self.totals[name] / self.counts[name]
+
+    def render(self, title: str = "wall-time sections") -> str:
+        """Summary table of every recorded section (used by the CLI)."""
+        from repro.util.tables import Table
+
+        table = Table(["section", "calls", "total (s)", "mean (ms)"], title=title)
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            table.add_row(
+                [
+                    name,
+                    self.counts[name],
+                    f"{self.totals[name]:.4f}",
+                    f"{self.mean(name) * 1e3:.3f}",
+                ]
+            )
+        return table.render()
 
 
 class _Section:

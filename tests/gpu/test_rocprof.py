@@ -99,6 +99,49 @@ class TestRocprofReport:
         assert not other.stats
 
 
+class TestReplayInto:
+    def test_events_become_sim_spans(self, profiled_device):
+        from repro.observe import SIM, Tracer
+
+        device, profiler = profiled_device
+        kernel = _launch_steps(device, steps=2)
+        device.record_transfer("H2D", 4096)
+        tracer = Tracer()
+        emitted = profiler.replay_into(tracer)
+        assert emitted == len(profiler.events) == len(tracer.spans)
+        assert all(r.clock == SIM for r in tracer.spans)
+        # same lane scheme as the live gpu.memory hooks
+        lanes = tracer.lanes()
+        assert ("gcd0", "jit") in lanes
+        assert ("gcd0", "kernel") in lanes
+        assert ("gcd0", "copy") in lanes
+        kernels = tracer.select(name=kernel.name)
+        assert len(kernels) == 2
+        assert kernels[0].arg("bytes") > 0
+        (copy,) = tracer.select(name="memcpy.H2D")
+        assert copy.arg("bytes") == 4096
+
+    def test_replay_matches_live_tracing(self):
+        """Offline replay produces the same gpu lanes a live session does."""
+        from repro.observe import Tracer, trace
+
+        with trace.session() as live:
+            device = Device(name="gcd0", backend="julia")
+            _launch_steps(device, steps=2)
+
+        profiler = Profiler()
+        device2 = Device(name="gcd0", backend="julia", profiler=profiler)
+        _launch_steps(device2, steps=2)
+        replayed = Tracer()
+        profiler.replay_into(replayed)
+
+        live_gpu = [(r.name, r.lane, r.start) for r in live.select(cat="gpu")]
+        replay_gpu = [
+            (r.name, r.lane, r.start) for r in replayed.select(cat="gpu")
+        ]
+        assert live_gpu == replay_gpu
+
+
 class TestCsvExport:
     def test_csv_shape(self, profiled_device, tmp_path):
         device, profiler = profiled_device

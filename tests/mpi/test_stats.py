@@ -104,3 +104,55 @@ class TestCollectiveAccounting:
         job_out = {}
         run_spmd(lambda comm: comm.barrier(), 2, job_out=job_out, timeout=30)
         assert job_out["job"].stats is None
+
+
+class TestMetricsExport:
+    def test_to_metrics(self):
+        from repro.observe import MetricsRegistry
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), 1)  # 80 B
+            elif comm.rank == 1:
+                comm.recv(0)
+            comm.barrier()
+            return True
+
+        _, stats = _run_with_stats(body, 2)
+        reg = MetricsRegistry()
+        stats.to_metrics(reg)
+        assert reg.counter_value("mpi.p2p.pair.messages", src=0, dst=1) == 1
+        assert reg.counter_value("mpi.p2p.pair.bytes", src=0, dst=1) == 80
+        assert reg.counter_value("mpi.coll.messages", op="barrier") > 0
+        # additive: a second export doubles everything
+        stats.to_metrics(reg)
+        assert reg.counter_value("mpi.p2p.pair.bytes", src=0, dst=1) == 160
+
+    def test_byte_matrix_matches_traced_spans(self):
+        """Satellite: the per-pair byte matrix equals the p2p span payloads
+        collected by the tracer on an 8-rank ghost exchange."""
+        from repro.core.domain import LocalDomain
+        from repro.core.exchange import exchange_ghosts
+        from repro.observe import trace
+
+        global_shape = (8, 8, 8)
+        dims = (2, 2, 2)
+
+        def body(comm):
+            cart = comm.create_cart(dims, periods=(True,) * 3)
+            domain = LocalDomain.for_coords(global_shape, dims, cart.coords())
+            field = domain.allocate_field()
+            exchange_ghosts(cart, field, domain.face_specs())
+            return True
+
+        with trace.session() as tracer:
+            _, stats = _run_with_stats(body, 8)
+            sends = tracer.select(cat="mpi", name="p2p.send")
+
+        matrix = stats.byte_matrix()
+        assert matrix.shape == (8, 8)
+        traced = np.zeros_like(matrix)
+        for span in sends:
+            traced[span.arg("src"), span.arg("dst")] += span.arg("bytes")
+        np.testing.assert_array_equal(matrix, traced)
+        assert matrix.sum() == 48 * 6 * 6 * 8  # the Section 3.3 face math

@@ -1,0 +1,131 @@
+import threading
+
+import pytest
+
+from repro.observe import SIM, WALL, Tracer, trace
+from repro.util.errors import ObserveError, ReproError
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    assert trace.active() is None
+    yield
+    trace.deactivate()
+
+
+class TestSpanRecord:
+    def test_end_and_lane(self):
+        t = Tracer()
+        r = t.add_span(
+            "k", cat="gpu", clock=SIM, process="gcd0", thread="kernel",
+            start=1.0, seconds=0.5, args={"bytes": 64},
+        )
+        assert r.end == 1.5
+        assert r.lane == ("gcd0", "kernel")
+        assert r.arg("bytes") == 64
+        assert r.arg("missing", "d") == "d"
+        assert r.args_dict() == {"bytes": 64}
+
+
+class TestTracer:
+    def test_span_context_manager_measures_wall(self):
+        t = Tracer()
+        with t.span("work", cat="core", process="rank0", thread="core"):
+            pass
+        (r,) = t.spans
+        assert r.clock == WALL
+        assert r.seconds >= 0
+        assert r.ph == "X"
+
+    def test_span_recorded_on_exception(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom", cat="core", process="rank0", thread="core"):
+                raise ValueError("x")
+        assert len(t) == 1
+
+    def test_instant(self):
+        t = Tracer()
+        r = t.instant("mark", cat="adios", clock=WALL,
+                      process="rank0", thread="adios")
+        assert r.ph == "i"
+        assert r.seconds == 0.0
+        with pytest.raises(ObserveError, match="explicit ts"):
+            t.instant("m", cat="gpu", clock=SIM, process="gcd0", thread="copy")
+
+    def test_clock_domain_mixing_raises(self):
+        t = Tracer()
+        t.add_span("a", cat="gpu", clock=SIM, process="gcd0",
+                   thread="kernel", start=0.0, seconds=1.0)
+        with pytest.raises(ObserveError, match="one lane, one clock"):
+            t.add_span("b", cat="gpu", clock=WALL, process="gcd0",
+                       thread="kernel", start=0.0, seconds=1.0)
+        # a different lane of the same process is fine
+        t.add_span("c", cat="gpu", clock=WALL, process="gcd0",
+                   thread="host", start=0.0, seconds=1.0)
+
+    def test_bad_clock_and_negative_duration(self):
+        t = Tracer()
+        with pytest.raises(ObserveError, match="unknown clock"):
+            t.add_span("a", cat="core", clock="tai", process="p",
+                       thread="t", start=0, seconds=0)
+        with pytest.raises(ObserveError, match="negative duration"):
+            t.add_span("a", cat="core", clock=WALL, process="p",
+                       thread="t", start=0, seconds=-1)
+
+    def test_lanes_sorted_parent_first(self):
+        t = Tracer()
+        t.add_span("child", cat="core", clock=WALL, process="p",
+                   thread="t", start=0.0, seconds=1.0)
+        t.add_span("parent", cat="core", clock=WALL, process="p",
+                   thread="t", start=0.0, seconds=5.0)
+        records = t.lanes()[("p", "t")]
+        assert [r.name for r in records] == ["parent", "child"]
+
+    def test_select_and_by_category(self):
+        t = Tracer()
+        t.add_span("a", cat="mpi", clock=WALL, process="p", thread="mpi",
+                   start=0, seconds=1)
+        t.add_span("b", cat="gpu", clock=SIM, process="g", thread="kernel",
+                   start=0, seconds=1)
+        assert {r.name for r in t.select(cat="mpi")} == {"a"}
+        assert set(t.by_category()) == {"mpi", "gpu"}
+
+    def test_thread_safety(self):
+        t = Tracer()
+
+        def worker(i):
+            for _ in range(100):
+                t.add_span("s", cat="core", clock=WALL, process=f"rank{i}",
+                           thread="core", start=0.0, seconds=0.1)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t) == 400
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default(self):
+        assert trace.active() is None
+
+    def test_activate_deactivate(self):
+        tracer = trace.activate()
+        assert trace.active() is tracer
+        assert trace.deactivate() is tracer
+        assert trace.active() is None
+
+    def test_double_activate_raises(self):
+        trace.activate()
+        with pytest.raises(ObserveError, match="already active"):
+            trace.activate()
+
+    def test_session(self):
+        with trace.session() as tracer:
+            assert trace.active() is tracer
+        assert trace.active() is None
+
+    def test_observe_error_is_repro_error(self):
+        assert issubclass(ObserveError, ReproError)

@@ -77,6 +77,82 @@ class TestCliTrace:
         assert "GPU backend" in capsys.readouterr().err
 
 
+class TestCliObservability:
+    def _gpu_settings(self, tmp_path, **kwargs):
+        path = tmp_path / "s.json"
+        GrayScottSettings(
+            L=12, steps=4, plotgap=2, noise=0.0, backend="julia",
+            output=str(tmp_path / "o.bp"), **kwargs,
+        ).save(path)
+        return path
+
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        from repro.observe import trace
+        from repro.observe.export import load_chrome_trace
+
+        path = self._gpu_settings(tmp_path, ranks=2)
+        t_json = tmp_path / "t.json"
+        m_json = tmp_path / "m.json"
+        assert main([
+            "run", str(path),
+            "--trace-out", str(t_json), "--metrics-out", str(m_json),
+        ]) == 0
+        assert trace.active() is None  # session torn down
+        out = capsys.readouterr().out
+        assert "chrome trace written" in out
+        assert "metrics written" in out
+        obj = load_chrome_trace(t_json)  # validates the schema
+        cats = {
+            str(e["cat"]).split(",")[0]
+            for e in obj["traceEvents"]
+            if e["ph"] in ("X", "i")
+        }
+        assert cats == {"core", "gpu", "mpi", "adios"}
+        metrics = json.loads(m_json.read_text())
+        names = {c["name"] for c in metrics["counters"]}
+        assert {"core.steps", "gpu.kernel.launches", "adios.steps"} <= names
+
+    def test_ranks_flag_overrides_settings(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        m_json = tmp_path / "m.json"
+        assert main([
+            "run", str(path), "--ranks", "2", "--metrics-out", str(m_json),
+        ]) == 0
+        import json
+
+        metrics = json.loads(m_json.read_text())
+        ranks = {
+            c["labels"]["rank"]
+            for c in metrics["counters"]
+            if c["name"] == "core.steps"
+        }
+        assert ranks == {"0", "1"}
+
+    def test_timings_flag(self, settings_file, capsys):
+        assert main(["run", str(settings_file), "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-time sections" in out
+        assert "compute" in out
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        t_json = tmp_path / "t.json"
+        main(["run", str(path), "--trace-out", str(t_json)])
+        capsys.readouterr()
+        assert main(["trace", str(t_json), "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "lanes" in out
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["trace", str(bad)]) == 1
+        assert "grayscott:" in capsys.readouterr().err
+
+
 class TestCliCampaign:
     def test_campaign_sweep(self, tmp_path, capsys):
         base = tmp_path / "base.json"

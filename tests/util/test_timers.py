@@ -1,5 +1,6 @@
 import pytest
 
+from repro.util.errors import ReproError, TimerError
 from repro.util.timers import SimClock, Stopwatch, WallTimer
 
 
@@ -33,6 +34,27 @@ class TestStopwatch:
         sw.add("io", 0.5)
         assert sw.totals["io"] == pytest.approx(2.0)
         assert sw.mean("io") == pytest.approx(1.0)
+
+    def test_mean_of_unknown_section(self):
+        sw = Stopwatch()
+        sw.add("io", 1.0)
+        with pytest.raises(TimerError, match=r"no samples.*'compute'"):
+            sw.mean("compute")
+        # the message names what *was* recorded
+        with pytest.raises(TimerError, match="io"):
+            sw.mean("compute")
+        assert issubclass(TimerError, ReproError)
+
+    def test_render(self):
+        sw = Stopwatch()
+        sw.add("compute", 2.0)
+        sw.add("exchange", 0.5)
+        text = sw.render()
+        assert "wall-time sections" in text
+        assert "compute" in text and "exchange" in text
+
+    def test_render_empty(self):
+        assert "wall-time sections" in Stopwatch().render()
 
 
 class TestSimClock:
