@@ -25,7 +25,6 @@ def test_table3_durations_match_paper(columns):
 
 def test_table3_rocprof_on_simulated_device(benchmark):
     """The same counters out of the *executed* mini-scale device path."""
-    import numpy as np
 
     from repro.core.params import GrayScottParams
     from repro.core.stencil import kernel_args, make_gray_scott_kernel

@@ -15,7 +15,6 @@ Usage::
 
 import sys
 
-import numpy as np
 
 from repro import GrayScottSettings, Simulation
 from repro.analysis.spectrum import dominant_wavelength

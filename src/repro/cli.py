@@ -8,6 +8,11 @@ Commands:
   a metrics JSON through :mod:`repro.observe`;
 - ``trace <trace.json>`` — summarize a trace written by
   ``run --trace-out`` (per-category totals, lanes, ASCII timeline);
+- ``lint <settings.json>`` — statically analyze the run the settings
+  describe (kernel bounds/races/type stability, exchange-plan deadlock
+  and matching, ADIOS step protocol and coverage) without executing it;
+  exits nonzero on error-severity diagnostics (``--format json`` emits
+  a SARIF-like record, ``--rules`` selects rule ids);
 - ``analyze <dataset.bp>`` — summarize a dataset and render the centre
   V slice as an ASCII heatmap (the Figure 9 session, in a terminal);
 - ``bpls <dataset.bp>`` — the Listing 1 provenance record;
@@ -84,6 +89,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.settings import GrayScottSettings
+    from repro.lint import check_rule_ids, exit_code, render_text, to_sarif
+    from repro.lint.runner import lint_workflow
+    from repro.util.errors import LintError
+
+    rules = None
+    if args.rules:
+        try:
+            rules = check_rule_ids(
+                r.strip() for r in args.rules.split(",") if r.strip()
+            )
+        except LintError as exc:
+            print(f"grayscott: {exc}", file=sys.stderr)
+            return 2
+
+    settings = GrayScottSettings.load(args.settings)
+    report = lint_workflow(settings, rules=rules)
+
+    if args.format == "json":
+        text = json.dumps(to_sarif(report), indent=2)
+    else:
+        text = render_text(report, title=f"lint: {args.settings}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"lint report written to {args.out}")
+    else:
+        print(text)
+    return exit_code(report)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -247,6 +286,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print this rank's wall-time section table",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze the kernels/exchange/writer of a run"
+    )
+    p_lint.add_argument("settings", help="path to a JSON settings file")
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format: human text or SARIF-like JSON",
+    )
+    p_lint.add_argument(
+        "--rules", metavar="ID,ID,...",
+        help="only report these rule ids (see docs/LINTING.md)",
+    )
+    p_lint.add_argument(
+        "--out", metavar="FILE", help="write the report here instead of stdout"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_tr = sub.add_parser("trace", help="summarize a Chrome trace JSON file")
     p_tr.add_argument("trace", help="path to a trace written by run --trace-out")

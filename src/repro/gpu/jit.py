@@ -46,10 +46,24 @@ class TraceError(GpuError):
 
 @dataclass(frozen=True)
 class Affine:
-    """``sum(coeff * symbol) + const`` over launch-axis symbols."""
+    """``sum(coeff * symbol) + const`` over launch-axis symbols.
+
+    Instances are canonical regardless of how they were built:
+    duplicate symbols merge, zero coefficients drop, and terms sort —
+    so ``==`` and ``hash`` agree for semantically equal expressions
+    (e.g. ``Affine((("x", 0),))`` equals ``Affine()``).
+    """
 
     terms: tuple[tuple[str, int], ...] = ()
     const: int = 0
+
+    def __post_init__(self) -> None:
+        coeffs: dict[str, int] = {}
+        for sym, c in self.terms:
+            coeffs[sym] = coeffs.get(sym, 0) + int(c)
+        canonical = tuple(sorted((s, c) for s, c in coeffs.items() if c != 0))
+        object.__setattr__(self, "terms", canonical)
+        object.__setattr__(self, "const", int(self.const))
 
     @classmethod
     def symbol(cls, name: str) -> "Affine":
@@ -63,8 +77,9 @@ class Affine:
         coeffs = dict(self.terms)
         for sym, c in other.terms:
             coeffs[sym] = coeffs.get(sym, 0) + sign * c
-        terms = tuple(sorted((s, c) for s, c in coeffs.items() if c != 0))
-        return Affine(terms=terms, const=self.const + sign * other.const)
+        return Affine(
+            terms=tuple(coeffs.items()), const=self.const + sign * other.const
+        )
 
     def __add__(self, other: "Affine") -> "Affine":
         return self._combine(other, +1)
@@ -73,8 +88,24 @@ class Affine:
         return self._combine(other, -1)
 
     def scaled(self, factor: int) -> "Affine":
-        terms = tuple(sorted((s, c * factor) for s, c in self.terms if c * factor))
-        return Affine(terms=terms, const=self.const * factor)
+        factor = int(factor)
+        return Affine(
+            terms=tuple((s, c * factor) for s, c in self.terms),
+            const=self.const * factor,
+        )
+
+    def coefficient(self, symbol: str) -> int:
+        """The coefficient of ``symbol`` (0 when absent)."""
+        for sym, c in self.terms:
+            if sym == symbol:
+                return c
+        return 0
+
+    def evaluate(self, values: dict[str, int]) -> int:
+        """Concrete value at a symbol assignment (missing symbols = 0)."""
+        return self.const + sum(
+            c * values.get(sym, 0) for sym, c in self.terms
+        )
 
     @property
     def linear_part(self) -> tuple[tuple[str, int], ...]:
@@ -147,10 +178,16 @@ class TracedInt:
 
     # comparisons drive guards; they evaluate on the concrete value.
     def __eq__(self, other):
-        return self.value == int(other)
+        try:
+            return self.value == int(other)
+        except (TypeError, ValueError):
+            return NotImplemented
 
     def __ne__(self, other):
-        return self.value != int(other)
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
 
     def __lt__(self, other):
         return self.value < int(other)
@@ -164,7 +201,11 @@ class TracedInt:
     def __ge__(self, other):
         return self.value >= int(other)
 
-    __hash__ = None  # type: ignore[assignment]
+    def __hash__(self) -> int:
+        # consistent with __eq__, which compares concrete values: a
+        # TracedInt hashes (and compares) like its plain int, so traced
+        # indices work in sets/dicts keyed by int.
+        return hash(self.value)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"TracedInt({self.value}, {self.expr})"
@@ -194,6 +235,11 @@ class TracedFloat:
         elif isinstance(other, (int, float, np.floating, np.integer)):
             o_val, o_ssa = float(other), repr(float(other))
         elif isinstance(other, TracedInt):
+            # a traced index promoted into float dataflow: LLVM would
+            # emit a sitofp here — record it for the type-stability lint
+            self.tracer.record_type_escape(
+                "sitofp", f"index {other.expr} enters {op}"
+            )
             o_val, o_ssa = float(other.value), repr(float(other.value))
         else:
             return NotImplemented
@@ -280,6 +326,12 @@ class TracedArray:
         if isinstance(value, TracedFloat):
             ssa, concrete = value.ssa, value.value
         else:
+            if isinstance(value, TracedInt):
+                self.tracer.record_type_escape(
+                    "int-store",
+                    f"index {value.expr} stored into float array {self.name}",
+                )
+                value = value.value
             ssa, concrete = repr(float(value)), float(value)
         self.tracer.record_store(self.name, exprs, ssa)
         self.data[values] = concrete
@@ -326,6 +378,13 @@ class KernelTrace:
     #: which argument positions were arrays, and the trace-time name
     #: used for them in IR/offset records
     array_names_by_position: dict[int, str] = field(default_factory=dict)
+    #: trace-time array name -> numpy dtype name (the type-mix lint input)
+    array_dtypes: dict[str, str] = field(default_factory=dict)
+    #: trace-time array name -> shape (the absolute-bounds lint input)
+    array_shapes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    #: (kind, detail) records of integer values escaping into float
+    #: dataflow ("sitofp", "int-store") — @code_warntype-style evidence
+    type_escapes: list[tuple[str, str]] = field(default_factory=list)
     _load_ssa: dict[tuple, str] = field(default_factory=dict)
 
     @property
@@ -425,6 +484,9 @@ class Tracer:
             f"{self.fresh_ssa()} = call double @device_uniform()  ; rand(Uniform(-1,1))"
         )
 
+    def record_type_escape(self, kind: str, detail: str) -> None:
+        self.trace.type_escapes.append((kind, detail))
+
 
 def trace_kernel(kernel: "Kernel", args) -> KernelTrace:
     """Trace one interior workitem of ``kernel`` over ``args``.
@@ -451,6 +513,8 @@ def trace_kernel(kernel: "Kernel", args) -> KernelTrace:
             if name in tracer.trace.array_names_by_position.values():
                 name = f"{name}@{position}"
             tracer.trace.array_names_by_position[position] = name
+            tracer.trace.array_dtypes[name] = data.dtype.name
+            tracer.trace.array_shapes[name] = tuple(data.shape)
             traced_args.append(TracedArray(tracer, name, data.copy(order="F")))
         else:
             traced_args.append(arg)

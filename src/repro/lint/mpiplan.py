@@ -1,0 +1,355 @@
+"""MPI plan checker: deadlocks, matching, wildcard nondeterminism.
+
+A :class:`CommPlan` is the *static* send/recv graph of one
+communication phase — each rank's point-to-point operations in program
+order, before anything executes. The checker runs two analyses:
+
+1. **Matching** — group sends and receives by ``(source, dest, tag)``
+   edges: a send with no receive is **MPI-UNMATCHED-SEND** (refined to
+   **MPI-TAG-MISMATCH** when the same peer pair exists under another
+   tag), more sends than receives on one edge is **MPI-DUP-MATCH**,
+   a receive nothing feeds is **MPI-UNMATCHED-RECV**, and wildcard
+   receives are flagged **MPI-WILDCARD** (they match whatever arrives
+   first — nondeterministic with more than one candidate).
+
+2. **Deadlock** — an abstract scheduler advances every rank through
+   its program: nonblocking operations always complete (they only
+   post), buffered sends complete eagerly (the repo's sends copy at
+   send time, like Cray-MPICH under the eager threshold), unbuffered
+   sends rendezvous with a posted receive, and blocking receives wait
+   for a matching in-flight message. When no rank can advance, the
+   ranks stuck on blocking operations form the blocking cycle reported
+   by **MPI-DEADLOCK** — exactly the mismatched-nonblocking-halo hazard
+   the paper's Listing 3 exchange must avoid.
+
+:func:`halo_exchange_plan` builds the plan of the built-in Cartesian
+ghost exchange (:mod:`repro.core.exchange`) from ``dims``/``periods``
+alone, using the same rank ordering as :class:`repro.mpi.cart.CartComm`
+and the same tag map as the runtime exchange — so ``grayscott lint``
+verifies the actual production plan, not a copy of it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.exchange import _face_tag
+from repro.lint import diagnostics as D
+from repro.lint.diagnostics import LintReport
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, PROC_NULL
+from repro.util.errors import LintError
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """One point-to-point operation of one rank's program."""
+
+    kind: str  # "send" | "recv"
+    rank: int
+    peer: int  # dest for sends; source (or ANY_SOURCE) for recvs
+    tag: int  # ANY_TAG allowed on recvs
+    blocking: bool = True
+    #: sends only: buffered (eager, completes immediately) vs
+    #: rendezvous (completes when the matching receive is posted)
+    buffered: bool = True
+    where: str = ""  # human-readable origin, e.g. "axis0/+1"
+
+    def describe(self) -> str:
+        peer = {ANY_SOURCE: "ANY_SOURCE"}.get(self.peer, str(self.peer))
+        tag = {ANY_TAG: "ANY_TAG"}.get(self.tag, str(self.tag))
+        mode = "" if self.blocking else "i"
+        origin = f" [{self.where}]" if self.where else ""
+        if self.kind == "send":
+            return f"rank {self.rank}: {mode}send(dest={peer}, tag={tag}){origin}"
+        return f"rank {self.rank}: {mode}recv(source={peer}, tag={tag}){origin}"
+
+
+@dataclass
+class CommPlan:
+    """Per-rank programs of one communication phase."""
+
+    nranks: int
+    ops: list[PlanOp] = field(default_factory=list)
+
+    def add(self, op: PlanOp) -> "CommPlan":
+        if not 0 <= op.rank < self.nranks:
+            raise LintError(
+                f"plan op on rank {op.rank} outside communicator of "
+                f"size {self.nranks}"
+            )
+        if op.peer != PROC_NULL:
+            valid_peer = (
+                0 <= op.peer < self.nranks
+                or (op.kind == "recv" and op.peer == ANY_SOURCE)
+            )
+            if not valid_peer:
+                raise LintError(
+                    f"plan op peer {op.peer} outside communicator of "
+                    f"size {self.nranks}"
+                )
+        if op.peer != PROC_NULL:  # PROC_NULL ops are no-ops, drop them
+            self.ops.append(op)
+        return self
+
+    def send(self, rank: int, dest: int, tag: int, **kw) -> "CommPlan":
+        return self.add(PlanOp("send", rank, dest, tag, **kw))
+
+    def recv(self, rank: int, source: int, tag: int, **kw) -> "CommPlan":
+        return self.add(PlanOp("recv", rank, source, tag, **kw))
+
+    def program(self, rank: int) -> list[PlanOp]:
+        return [op for op in self.ops if op.rank == rank]
+
+
+# -- Cartesian helpers (mirror repro.mpi.cart's row-major convention) -------
+
+
+def _cart_coords(rank: int, dims: tuple[int, ...]) -> tuple[int, ...]:
+    out = []
+    for dim in reversed(dims):
+        out.append(rank % dim)
+        rank //= dim
+    return tuple(reversed(out))
+
+
+def _cart_rank(coords, dims, periods) -> int:
+    coords = list(coords)
+    for axis, (c, dim, periodic) in enumerate(zip(coords, dims, periods)):
+        if 0 <= c < dim:
+            continue
+        if not periodic:
+            return PROC_NULL
+        coords[axis] = c % dim
+    rank = 0
+    for c, dim in zip(coords, dims):
+        rank = rank * dim + c
+    return rank
+
+
+def cart_shift(rank, dims, periods, axis, disp=1) -> tuple[int, int]:
+    """(source, dest) of ``MPI_Cart_shift`` without a communicator."""
+    here = _cart_coords(rank, dims)
+    up = list(here)
+    up[axis] += disp
+    down = list(here)
+    down[axis] -= disp
+    return _cart_rank(down, dims, periods), _cart_rank(up, dims, periods)
+
+
+def halo_exchange_plan(
+    dims,
+    periods=None,
+    *,
+    mode: str = "sequential",
+) -> CommPlan:
+    """The static plan of the built-in ghost exchange.
+
+    ``mode="sequential"`` mirrors :func:`~repro.core.exchange.
+    exchange_ghosts` (blocking, buffered, axis-by-axis);
+    ``mode="overlapped"`` mirrors :func:`~repro.core.exchange.
+    exchange_ghosts_nonblocking` (post all receives, then all sends).
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d <= 0 for d in dims):
+        raise LintError(f"cartesian dims must be positive: {dims}")
+    periods = tuple(bool(p) for p in (periods or (True,) * len(dims)))
+    if len(periods) != len(dims):
+        raise LintError(f"periods {periods} do not match dims {dims}")
+    if mode not in ("sequential", "overlapped"):
+        raise LintError(f"exchange mode must be sequential|overlapped, got {mode!r}")
+    nranks = math.prod(dims)
+    plan = CommPlan(nranks)
+    blocking = mode == "sequential"
+    for rank in range(nranks):
+        if not blocking:
+            for axis in range(len(dims)):
+                source_down, dest_up = cart_shift(rank, dims, periods, axis)
+                plan.recv(rank, source_down, _face_tag(axis, +1),
+                          blocking=False, where=f"axis{axis}/-1")
+                plan.recv(rank, dest_up, _face_tag(axis, -1),
+                          blocking=False, where=f"axis{axis}/+1")
+        for axis in range(len(dims)):
+            source_down, dest_up = cart_shift(rank, dims, periods, axis)
+            plan.send(rank, dest_up, _face_tag(axis, +1),
+                      blocking=blocking, where=f"axis{axis}/+1")
+            plan.send(rank, source_down, _face_tag(axis, -1),
+                      blocking=blocking, where=f"axis{axis}/-1")
+            if blocking:
+                plan.recv(rank, source_down, _face_tag(axis, +1),
+                          where=f"axis{axis}/-1")
+                plan.recv(rank, dest_up, _face_tag(axis, -1),
+                          where=f"axis{axis}/+1")
+    return plan
+
+
+# -- the checker ------------------------------------------------------------
+
+
+def check_plan(plan: CommPlan, *, report: LintReport | None = None) -> LintReport:
+    """Run matching + deadlock analysis over one plan."""
+    report = report if report is not None else LintReport()
+    _check_matching(plan, report)
+    _check_deadlock(plan, report)
+    report.record_fact("mpi.plan.nranks", plan.nranks)
+    report.record_fact("mpi.plan.messages", sum(
+        1 for op in plan.ops if op.kind == "send"
+    ))
+    return report
+
+
+def _check_matching(plan: CommPlan, report: LintReport) -> None:
+    sends: dict[tuple, list[PlanOp]] = {}
+    recvs: dict[tuple, list[PlanOp]] = {}
+    wildcards: list[PlanOp] = []
+    for op in plan.ops:
+        if op.kind == "send":
+            sends.setdefault((op.rank, op.peer, op.tag), []).append(op)
+        elif op.peer == ANY_SOURCE or op.tag == ANY_TAG:
+            wildcards.append(op)
+        else:
+            recvs.setdefault((op.peer, op.rank, op.tag), []).append(op)
+
+    for op in wildcards:
+        report.add(
+            D.MPI_WILDCARD, f"rank{op.rank}",
+            f"{op.describe()} matches in arrival order",
+            hint="name the source and tag explicitly for deterministic "
+                 "halo exchanges",
+        )
+
+    def _wildcard_accepts(op: PlanOp, src: int, tag: int) -> bool:
+        return (op.peer in (ANY_SOURCE, src)) and (op.tag in (ANY_TAG, tag))
+
+    for key in sorted(set(sends) | set(recvs)):
+        src, dst, tag = key
+        n_send = len(sends.get(key, ()))
+        n_recv = len(recvs.get(key, ()))
+        n_recv += sum(
+            1 for op in wildcards if op.rank == dst and _wildcard_accepts(op, src, tag)
+        )
+        if n_send > n_recv:
+            example = sends[key][0]
+            if n_recv > 0:
+                report.add(
+                    D.MPI_DUP_MATCH, f"rank{src}",
+                    f"{n_send} sends but only {n_recv} receives on "
+                    f"edge {src}->{dst} tag {tag} ({example.describe()})",
+                    hint="each message needs exactly one receive",
+                )
+            else:
+                other_tags = sorted(
+                    t for (s, d, t), ops in recvs.items()
+                    if s == src and d == dst and t != tag
+                )
+                if other_tags:
+                    report.add(
+                        D.MPI_TAG_MISMATCH, f"rank{src}",
+                        f"{example.describe()} has no matching receive, but "
+                        f"rank {dst} receives from {src} under tag(s) "
+                        f"{other_tags}",
+                        hint="align the send and receive tag maps",
+                    )
+                else:
+                    report.add(
+                        D.MPI_UNMATCHED_SEND, f"rank{src}",
+                        f"{example.describe()} is never received "
+                        f"by rank {dst}",
+                        hint="post a matching receive or drop the send",
+                    )
+        elif n_recv > n_send and key in recvs:
+            example = recvs[key][0]
+            missing = n_recv - n_send
+            other_tags = sorted(
+                t for (s, d, t), ops in sends.items()
+                if s == src and d == dst and t != tag
+                and len(ops) > len(recvs.get((s, d, t), ()))
+            )
+            if n_send == 0 and other_tags:
+                report.add(
+                    D.MPI_TAG_MISMATCH, f"rank{dst}",
+                    f"{example.describe()} has no matching send, but rank "
+                    f"{src} sends to {dst} under tag(s) {other_tags}",
+                    hint="align the send and receive tag maps",
+                )
+            else:
+                report.add(
+                    D.MPI_UNMATCHED_RECV, f"rank{dst}",
+                    f"{missing} receive(s) on edge {src}->{dst} tag {tag} "
+                    f"never get a message ({example.describe()})",
+                    hint="every posted receive must be fed by a send",
+                )
+
+
+def _check_deadlock(plan: CommPlan, report: LintReport) -> None:
+    """Abstract execution: advance ranks until quiescent or stuck."""
+    programs = {rank: plan.program(rank) for rank in range(plan.nranks)}
+    pc = {rank: 0 for rank in range(plan.nranks)}
+    in_flight: dict[tuple, int] = {}  # (src, dst, tag) -> count
+    posted: list[PlanOp] = []  # nonblocking receives awaiting messages
+
+    def _try_consume(rank: int, source: int, tag: int) -> bool:
+        for (src, dst, t), count in sorted(in_flight.items()):
+            if count <= 0 or dst != rank:
+                continue
+            if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
+                in_flight[(src, dst, t)] -= 1
+                return True
+        return False
+
+    def _recv_posted_at(rank: int, tag: int, source: int) -> bool:
+        """Is a matching receive posted or imminent at ``rank``?"""
+        for op in posted:
+            if op.rank == rank and op.peer in (ANY_SOURCE, source) \
+                    and op.tag in (ANY_TAG, tag):
+                return True
+        program = programs[rank]
+        if pc[rank] < len(program):
+            op = program[pc[rank]]
+            return (
+                op.kind == "recv"
+                and op.peer in (ANY_SOURCE, source)
+                and op.tag in (ANY_TAG, tag)
+            )
+        return False
+
+    progress = True
+    while progress:
+        progress = False
+        # drain posted nonblocking receives first (arrival order)
+        for op in list(posted):
+            if _try_consume(op.rank, op.peer, op.tag):
+                posted.remove(op)
+                progress = True
+        for rank in range(plan.nranks):
+            program = programs[rank]
+            while pc[rank] < len(program):
+                op = program[pc[rank]]
+                if op.kind == "send":
+                    if op.buffered or not op.blocking:
+                        pass  # eager: completes immediately
+                    elif not _recv_posted_at(op.peer, op.tag, rank):
+                        break  # rendezvous send blocks
+                    key = (rank, op.peer, op.tag)
+                    in_flight[key] = in_flight.get(key, 0) + 1
+                elif not op.blocking:
+                    posted.append(op)  # irecv: post and move on
+                elif not _try_consume(rank, op.peer, op.tag):
+                    break  # blocking recv with nothing to match
+                pc[rank] += 1
+                progress = True
+
+    stuck = {
+        rank: programs[rank][pc[rank]]
+        for rank in range(plan.nranks)
+        if pc[rank] < len(programs[rank])
+    }
+    if not stuck:
+        return
+    chain = "; ".join(op.describe() for _, op in sorted(stuck.items()))
+    report.add(
+        D.MPI_DEADLOCK, f"ranks {sorted(stuck)}",
+        f"{len(stuck)} rank(s) block forever: {chain}",
+        hint="break the cycle: post receives before blocking sends, or "
+             "use the nonblocking overlapped exchange",
+    )

@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.observe.metrics import MetricsRegistry
 from repro.util.errors import ObserveError

@@ -73,6 +73,15 @@ class ObserveError(ReproError):
     """
 
 
+class LintError(ReproError):
+    """Base class for errors raised by the static-analysis layer.
+
+    Raised for malformed analyzer inputs (unknown rule ids, plans that
+    reference ranks outside the communicator) — never for findings,
+    which are reported as diagnostics.
+    """
+
+
 class GpuError(ReproError):
     """Base class for errors raised by the GPU simulator."""
 

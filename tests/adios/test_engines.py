@@ -66,6 +66,33 @@ class TestSerialWriter:
         with pytest.raises(EngineStateError):
             engine.begin_step()
 
+    def test_double_close_is_noop(self, io, tmp_path):
+        engine = io.open(tmp_path / "x.bp", "w")
+        engine.close()
+        engine.close()  # idempotent, like adios2
+
+    def test_put_after_close_rejected(self, io, tmp_path):
+        u = io.define_variable("U", np.float64, shape=(4, 4, 4), count=(4, 4, 4))
+        engine = io.open(tmp_path / "x.bp", "w")
+        engine.close()
+        with pytest.raises(EngineStateError):
+            engine.put(u, np.zeros((4, 4, 4)))
+
+    def test_end_step_after_close_rejected(self, io, tmp_path):
+        engine = io.open(tmp_path / "x.bp", "w")
+        engine.close()
+        with pytest.raises(EngineStateError):
+            engine.end_step()
+
+    def test_bad_open_mode_rejected(self, io, tmp_path):
+        with pytest.raises(EngineStateError, match="mode"):
+            io.open(tmp_path / "x.bp", "rw")
+
+    def test_more_aggregators_than_ranks_rejected(self, io, tmp_path):
+        io.set_parameter("NumAggregators", 2)
+        with pytest.raises(EngineStateError, match="aggregators"):
+            io.open(tmp_path / "x.bp", "w")
+
     def test_put_undefined_variable_rejected(self, io, tmp_path):
         engine = io.open(tmp_path / "x.bp", "w")
         engine.begin_step()

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.cluster.frontier import FRONTIER, GcdSpec, MachineSpec
+from repro.cluster.frontier import FRONTIER, GcdSpec
 from repro.util.units import GB, GiB, TB
 
 

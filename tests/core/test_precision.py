@@ -1,7 +1,6 @@
 """float32 field support: parity and decomposition invariance."""
 
 import numpy as np
-import pytest
 
 from repro.core.params import GrayScottParams
 from repro.core.settings import GrayScottSettings

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.adios.engines import BP5Reader
 from repro.core.settings import GrayScottSettings

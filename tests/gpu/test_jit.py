@@ -13,7 +13,6 @@ from repro.gpu.jit import (
     Tracer,
     trace_kernel,
 )
-from repro.gpu.kernel import Kernel
 
 
 def _gs_trace():
@@ -46,6 +45,47 @@ class TestAffine:
         assert str(Affine.symbol("x") + Affine.constant(-1)) == "x - 1"
         assert str(Affine.constant(0)) == "0"
 
+    def test_duplicate_symbols_merge_canonically(self):
+        x = Affine.symbol("x")
+        expr = x + x + x
+        assert expr.terms == (("x", 3),)
+        # merging down to zero drops the term entirely
+        assert (expr - x.scaled(3)).terms == ()
+
+    def test_scaled_by_zero_is_constant_zero(self):
+        x = Affine.symbol("x")
+        expr = (x + Affine.constant(5)).scaled(0)
+        assert expr.terms == ()
+        assert expr.const == 0
+
+    def test_scaled_negative_round_trips(self):
+        x = Affine.symbol("x")
+        expr = (x + Affine.constant(2)).scaled(-3)
+        assert expr.terms == (("x", -3),)
+        assert expr.const == -6
+        assert expr.scaled(-1).terms == (("x", 3),)
+
+    def test_nested_add_sub_round_trip(self):
+        x, y = Affine.symbol("x"), Affine.symbol("y")
+        expr = ((x + y) - (y - x)) + Affine.constant(4)
+        assert expr.terms == (("x", 2),)
+        assert expr.const == 4
+
+    def test_terms_sorted_regardless_of_build_order(self):
+        x, y = Affine.symbol("x"), Affine.symbol("y")
+        assert (y + x).terms == (x + y).terms == (("x", 1), ("y", 1))
+
+    def test_coefficient_lookup(self):
+        x, y = Affine.symbol("x"), Affine.symbol("y")
+        expr = x.scaled(2) + y
+        assert expr.coefficient("x") == 2
+        assert expr.coefficient("z") == 0
+
+    def test_evaluate(self):
+        x, y = Affine.symbol("x"), Affine.symbol("y")
+        expr = x.scaled(2) - y + Affine.constant(1)
+        assert expr.evaluate({"x": 3, "y": 4}) == 3
+
 
 class TestTracedInt:
     def test_arithmetic_tracks_both(self):
@@ -73,6 +113,28 @@ class TestTracedInt:
         i = TracedInt(t, 2, Affine.symbol("x"))
         with pytest.raises(TraceError):
             _ = i * 1.5
+
+    def test_hash_consistent_with_eq(self):
+        # hashable stand-ins must satisfy a == b => hash(a) == hash(b),
+        # including against plain ints (dict keys mix both)
+        t = Tracer("t")
+        i = TracedInt(t, 2, Affine.symbol("x"))
+        j = TracedInt(t, 2, Affine.symbol("y"))
+        assert i == j == 2
+        assert hash(i) == hash(j) == hash(2)
+        assert len({i, j, 2}) == 1
+
+    def test_usable_as_dict_key(self):
+        t = Tracer("t")
+        i = TracedInt(t, 3, Affine.symbol("x"))
+        table = {i: "a"}
+        assert table[3] == "a"
+
+    def test_eq_against_foreign_type(self):
+        t = Tracer("t")
+        i = TracedInt(t, 2, Affine.symbol("x"))
+        assert (i == "two") is False
+        assert (i != "two") is True
 
 
 class TestTracedFloat:

@@ -1,0 +1,80 @@
+"""End-to-end tests of the ``grayscott lint`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.settings import GrayScottSettings
+
+
+@pytest.fixture
+def settings_file(tmp_path):
+    path = tmp_path / "settings.json"
+    GrayScottSettings(L=12, steps=20, plotgap=10, ranks=4).save(path)
+    return path
+
+
+class TestLintClean:
+    def test_clean_settings_exit_zero(self, settings_file, capsys):
+        assert main(["lint", str(settings_file)]) == 0
+        out = capsys.readouterr().out
+        # the Listing 4 invariant is part of the report
+        assert "kernel:_kernel_gray_scott.unique_loads = 14" in out
+        assert "kernel:_kernel_gray_scott.unique_stores = 2" in out
+        assert "mpi.plan.nranks = 4" in out
+
+    def test_json_format_is_sarif(self, settings_file, capsys):
+        assert main(["lint", str(settings_file), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        facts = run["properties"]["facts"]
+        assert facts["kernel:_kernel_gray_scott.unique_loads"] == 14
+        assert facts["kernel:_kernel_gray_scott.unique_stores"] == 2
+        assert run["properties"]["clean"] is True
+
+    def test_out_writes_file(self, settings_file, tmp_path, capsys):
+        out_path = tmp_path / "lint.txt"
+        assert main(
+            ["lint", str(settings_file), "--out", str(out_path)]
+        ) == 0
+        assert "lint report written" in capsys.readouterr().out
+        assert "unique_loads = 14" in out_path.read_text()
+
+
+class TestLintRules:
+    def test_rules_filter(self, settings_file, capsys):
+        assert main(
+            ["lint", str(settings_file), "--rules", "MPI-DEADLOCK"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "KRN-RAND" not in out
+
+    def test_unknown_rule_exits_2(self, settings_file, capsys):
+        assert main(
+            ["lint", str(settings_file), "--rules", "KRN-BOGUS"]
+        ) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestLintGate:
+    def test_error_diagnostics_exit_nonzero(
+        self, settings_file, capsys, monkeypatch
+    ):
+        from repro.lint.diagnostics import KRN_BOUNDS, LintReport
+
+        def fake_lint_workflow(settings, *, rules=None):
+            report = LintReport()
+            report.add(KRN_BOUNDS, "kernel:k", "seeded error")
+            return report
+
+        import repro.lint.runner as runner
+
+        monkeypatch.setattr(runner, "lint_workflow", fake_lint_workflow)
+        assert main(["lint", str(settings_file)]) == 1
+        assert "seeded error" in capsys.readouterr().out
+
+    def test_missing_settings_reports_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.json")]) == 1
+        assert "grayscott:" in capsys.readouterr().err

@@ -1,0 +1,152 @@
+"""Seeded-bug tests for the MPI plan checker."""
+
+import pytest
+
+from repro.lint import CommPlan, cart_shift, check_plan, halo_exchange_plan
+from repro.mpi.cart import dims_create
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, PROC_NULL, Job
+from repro.util.errors import LintError
+
+
+def _rules(report):
+    return {d.rule for d in report.diagnostics}
+
+
+class TestCartShift:
+    @pytest.mark.parametrize("dims", [(2, 2, 1), (4, 1, 1), (2, 3, 2)])
+    @pytest.mark.parametrize(
+        "periods", [(True, True, True), (False, False, False)]
+    )
+    def test_matches_real_cartcomm(self, dims, periods):
+        """The plan builder must agree with the production topology."""
+        import math
+
+        nranks = math.prod(dims)
+        job = Job(nranks)
+        for rank in range(nranks):
+            cart = job.comm_world(rank).create_cart(dims, periods=periods)
+            for axis in range(len(dims)):
+                assert cart.shift(axis) == cart_shift(
+                    rank, dims, periods, axis
+                ), (dims, periods, rank, axis)
+
+    def test_nonperiodic_edge_is_proc_null(self):
+        source, dest = cart_shift(0, (2, 1, 1), (False,) * 3, 0)
+        assert source == PROC_NULL
+        assert dest == 1
+
+
+class TestHaloExchangePlan:
+    @pytest.mark.parametrize("mode", ["sequential", "overlapped"])
+    def test_default_plan_is_clean(self, mode):
+        dims = dims_create(4, 3)
+        plan = halo_exchange_plan(dims, mode=mode)
+        report = check_plan(plan)
+        assert report.clean, [d.render() for d in report.diagnostics]
+        # 2 sends per axis per rank, none dropped under full periodicity
+        assert report.facts["mpi.plan.messages"] == 4 * 3 * 2
+
+    def test_nonperiodic_plan_is_clean(self):
+        plan = halo_exchange_plan((2, 2, 1), periods=(False, False, False))
+        report = check_plan(plan)
+        assert report.clean, [d.render() for d in report.diagnostics]
+        # boundary faces become PROC_NULL and are dropped from the plan
+        assert report.facts["mpi.plan.messages"] < 4 * 3 * 2
+
+    def test_serial_plan_is_empty_and_clean(self):
+        report = check_plan(halo_exchange_plan((1, 1, 1),
+                                               periods=(False,) * 3))
+        assert not report.diagnostics
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(LintError, match="mode"):
+            halo_exchange_plan((2, 1, 1), mode="eager")
+
+
+class TestMatching:
+    def test_unmatched_send(self):
+        plan = CommPlan(2).send(0, 1, tag=7)
+        assert "MPI-UNMATCHED-SEND" in _rules(check_plan(plan))
+
+    def test_unmatched_recv(self):
+        plan = CommPlan(2).recv(1, 0, tag=7, blocking=False)
+        assert "MPI-UNMATCHED-RECV" in _rules(check_plan(plan))
+
+    def test_tag_mismatch_refines_unmatched_pair(self):
+        plan = CommPlan(2).send(0, 1, tag=7).recv(1, 0, tag=8)
+        rules = _rules(check_plan(plan))
+        assert "MPI-TAG-MISMATCH" in rules
+        assert "MPI-UNMATCHED-SEND" not in rules
+
+    def test_duplicate_match(self):
+        plan = (
+            CommPlan(2)
+            .send(0, 1, tag=7)
+            .send(0, 1, tag=7)
+            .recv(1, 0, tag=7)
+        )
+        assert "MPI-DUP-MATCH" in _rules(check_plan(plan))
+
+    def test_wildcard_recv_warns_but_matches(self):
+        plan = CommPlan(2).send(0, 1, tag=7).recv(
+            1, ANY_SOURCE, tag=ANY_TAG
+        )
+        report = check_plan(plan)
+        assert _rules(report) == {"MPI-WILDCARD"}
+        assert not report.errors
+
+    def test_op_outside_communicator_rejected(self):
+        with pytest.raises(LintError, match="outside"):
+            CommPlan(2).send(0, 5, tag=0)
+
+
+class TestDeadlock:
+    def test_recv_before_send_head_to_head_deadlocks(self):
+        # the ISSUE's canonical seed: a swapped send/recv pair — both
+        # ranks block in recv before either sends
+        plan = (
+            CommPlan(2)
+            .recv(0, 1, tag=0).send(0, 1, tag=0)
+            .recv(1, 0, tag=0).send(1, 0, tag=0)
+        )
+        report = check_plan(plan)
+        deadlocks = [d for d in report.diagnostics if d.rule == "MPI-DEADLOCK"]
+        assert deadlocks
+        assert "ranks [0, 1]" in deadlocks[0].location
+
+    def test_rendezvous_send_cycle_deadlocks(self):
+        # both ranks send unbuffered first: rendezvous with no posted recv
+        plan = (
+            CommPlan(2)
+            .send(0, 1, tag=0, buffered=False).recv(0, 1, tag=0)
+            .send(1, 0, tag=0, buffered=False).recv(1, 0, tag=0)
+        )
+        assert "MPI-DEADLOCK" in _rules(check_plan(plan))
+
+    def test_buffered_send_cycle_completes(self):
+        # the same shape with eager (buffered) sends is the repo's
+        # sequential exchange pattern — no deadlock
+        plan = (
+            CommPlan(2)
+            .send(0, 1, tag=0).recv(0, 1, tag=0)
+            .send(1, 0, tag=0).recv(1, 0, tag=0)
+        )
+        assert "MPI-DEADLOCK" not in _rules(check_plan(plan))
+
+    def test_rendezvous_resolved_by_posted_irecv(self):
+        plan = (
+            CommPlan(2)
+            .recv(0, 1, tag=0, blocking=False)
+            .send(0, 1, tag=0, buffered=False)
+            .recv(1, 0, tag=0, blocking=False)
+            .send(1, 0, tag=0, buffered=False)
+        )
+        assert "MPI-DEADLOCK" not in _rules(check_plan(plan))
+
+    def test_ordered_pair_completes(self):
+        plan = (
+            CommPlan(2)
+            .send(0, 1, tag=0).recv(0, 1, tag=1)
+            .recv(1, 0, tag=0).send(1, 0, tag=1)
+        )
+        assert "MPI-DEADLOCK" not in _rules(check_plan(plan))

@@ -3,7 +3,6 @@ import threading
 import pytest
 
 from repro.mpi.executor import run_spmd
-from repro.util.errors import MPIError
 
 
 class TestRunSpmd:

@@ -1,7 +1,6 @@
 """mpiP-style communication statistics."""
 
 import numpy as np
-import pytest
 
 from repro.mpi.executor import run_spmd
 

@@ -1,7 +1,6 @@
 """Property-based tests of BP5 write/read round-trips."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Property-based test: query pushdown == full scan, always."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
