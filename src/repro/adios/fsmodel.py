@@ -12,6 +12,13 @@ sharing and metadata pressure), plus a fixed metadata/open cost and
 lognormal jitter ("real-time file system usage"). The aggregate is
 capped by the file system peak. Constants live in
 :mod:`repro.bench.calibration`.
+
+The weak-scaling sweep posts each node's write as a timed event on the
+discrete-event engine (:mod:`repro.sched`): node aggregators occupy a
+shared Lustre OSS resource, the job's write time is the virtual instant
+the last subfile lands, and :func:`IoWeakScalingModel.run_pipeline`
+additionally models BP5's deferred/async drain — the write of step
+``k`` rides the OSS while the solve of step ``k+1`` runs on the GCDs.
 """
 
 from __future__ import annotations
@@ -92,6 +99,26 @@ class IoScalingPoint:
         return self.total_bytes / self.write_seconds
 
 
+@dataclass(frozen=True)
+class IoPipelinePoint:
+    """A multi-step solve+write schedule (BP5 deferred-drain model)."""
+
+    nranks: int
+    nnodes: int
+    steps: int
+    bytes_per_node: float
+    compute_seconds_per_step: float
+    #: slowest node's serial compute->write->compute->write... total
+    serial_seconds: float
+    #: virtual end time of the scheduled job (== serial when overlap off)
+    elapsed_seconds: float
+    overlap: bool
+
+    @property
+    def overlap_speedup(self) -> float:
+        return self.serial_seconds / self.elapsed_seconds
+
+
 class IoWeakScalingModel:
     """Reproduces Figure 8: write wall-clock + bandwidth vs. job size."""
 
@@ -106,15 +133,43 @@ class IoWeakScalingModel:
         seed: int = 2023,
     ):
         self.machine = machine
+        self.local_shape = local_shape
         self.ranks_per_node = ranks_per_node
         self.bytes_per_rank = int(np.prod(local_shape)) * nvars * itemsize
         self.model = LustreModel(machine, seed=seed)
 
-    def run_point(self, nranks: int) -> IoScalingPoint:
+    def _layout(self, nranks: int) -> tuple[int, float]:
         nnodes = -(-nranks // self.ranks_per_node)
         ranks_on_full_node = min(nranks, self.ranks_per_node)
-        bytes_per_node = self.bytes_per_rank * ranks_on_full_node
-        seconds = self.model.job_write_seconds(nnodes, bytes_per_node)
+        return nnodes, self.bytes_per_rank * ranks_on_full_node
+
+    def run_point(self, nranks: int) -> IoScalingPoint:
+        from repro.sched import Engine, use
+
+        nnodes, bytes_per_node = self._layout(nranks)
+        engine = Engine(name=f"fig8[{nranks}]")
+        # capacity == nnodes: every aggregator streams concurrently; the
+        # contention cost of sharing the OSS pool is already inside
+        # node_write_bandwidth's derating factor
+        oss = engine.resource(
+            "lustre-oss", capacity=nnodes, lane=("lustre-oss", "write")
+        )
+
+        def writer(node: int):
+            seconds = self.model.write_seconds_per_node(
+                nnodes, bytes_per_node, sample=node
+            )
+            yield from use(
+                oss, seconds, label="bp5.write", cat="adios",
+                args={"node": node, "bytes": bytes_per_node},
+            )
+
+        for node in range(nnodes):
+            engine.spawn(f"node{node}", writer(node), lane=(f"node{node}", "adios"))
+        # the job waits on the slowest subfile: virtual end time == the
+        # max over nodes, bitwise identical to job_write_seconds()
+        seconds = engine.run()
+        engine.check_quiescent()
         return IoScalingPoint(
             nnodes=nnodes,
             nranks=nranks,
@@ -122,5 +177,97 @@ class IoWeakScalingModel:
             write_seconds=seconds,
         )
 
-    def run(self, nranks_list=(1, 8, 64, 512, 4096)) -> list[IoScalingPoint]:
-        return [self.run_point(n) for n in nranks_list]
+    def run_pipeline(
+        self,
+        nranks: int,
+        *,
+        steps: int = 4,
+        compute_seconds_per_step: float | None = None,
+        overlap: bool = False,
+    ) -> IoPipelinePoint:
+        """Schedule ``steps`` x (solve, output) on the engine.
+
+        ``overlap=True`` models BP5's deferred-put drain: the write of
+        step ``k`` streams to the OSS while step ``k+1`` computes; each
+        node joins its outstanding write before posting the next one
+        (one in-flight output step, like an async double buffer).
+        """
+        from repro.sched import Engine, Join, use
+
+        if compute_seconds_per_step is None:
+            from repro.gpu.proxy import grayscott_launch_cost
+
+            compute_seconds_per_step = grayscott_launch_cost(
+                self.local_shape, "julia"
+            ).seconds
+        nnodes, bytes_per_node = self._layout(nranks)
+        engine = Engine(name=f"fig8.pipeline[{nranks}]")
+        oss = engine.resource(
+            "lustre-oss", capacity=nnodes, lane=("lustre-oss", "write")
+        )
+
+        def write_seconds(node: int, step: int) -> float:
+            # sample keys the deterministic jitter draw; fold the step in
+            # so every (step, node) write jitters independently
+            return self.model.write_seconds_per_node(
+                nnodes, bytes_per_node, sample=step * 1_000_003 + node
+            )
+
+        def node_program(node: int, gcd):
+            pending = None
+            for step in range(steps):
+                yield from use(
+                    gcd, compute_seconds_per_step, label="solve", cat="gpu",
+                    args={"step": step},
+                )
+                write = use(
+                    oss, write_seconds(node, step), label="bp5.write",
+                    cat="adios", args={"node": node, "step": step},
+                )
+                if overlap:
+                    if pending is not None:
+                        yield Join(pending)
+                    pending = engine.spawn(
+                        f"node{node}.write{step}", write,
+                        lane=(f"node{node}", "adios"),
+                    )
+                else:
+                    yield from write
+            if pending is not None:
+                yield Join(pending)
+
+        processes = []
+        for node in range(nnodes):
+            gcd = engine.resource(
+                f"node{node}-gcds", lane=(f"node{node}", "solve")
+            )
+            processes.append(
+                engine.spawn(
+                    f"node{node}", node_program(node, gcd),
+                    lane=(f"node{node}", "core"),
+                )
+            )
+        elapsed = engine.run()
+        engine.check_quiescent()
+        serial = max(
+            sum(
+                compute_seconds_per_step + write_seconds(node, step)
+                for step in range(steps)
+            )
+            for node in range(nnodes)
+        )
+        return IoPipelinePoint(
+            nranks=nranks,
+            nnodes=nnodes,
+            steps=steps,
+            bytes_per_node=bytes_per_node,
+            compute_seconds_per_step=compute_seconds_per_step,
+            serial_seconds=serial,
+            elapsed_seconds=elapsed,
+            overlap=overlap,
+        )
+
+    def run(self, nranks_list=None) -> list[IoScalingPoint]:
+        from repro.bench.sweep import run_ladder
+
+        return run_ladder(self.run_point, nranks_list)

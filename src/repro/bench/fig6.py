@@ -17,11 +17,10 @@ import time
 from dataclasses import dataclass
 
 from repro.bench.calibration import PAPER_FIG6_VARIABILITY
+from repro.bench.sweep import RANK_LADDER
 from repro.mpi.executor import run_spmd
 from repro.mpi.netmodel import WeakScalingModel, WeakScalingPoint
 from repro.util.tables import Table
-
-RANK_LADDER = (1, 8, 64, 512, 4096)
 
 
 def run_frontier(
@@ -30,9 +29,11 @@ def run_frontier(
     local_cells: int = 1024,
     ranks=RANK_LADDER,
     seed: int = 2023,
+    overlap: bool = False,
 ) -> list[WeakScalingPoint]:
     model = WeakScalingModel(
-        local_shape=(local_cells,) * 3, steps=steps, backend="julia", seed=seed
+        local_shape=(local_cells,) * 3, steps=steps, backend="julia",
+        seed=seed, overlap=overlap,
     )
     return model.run(list(ranks))
 

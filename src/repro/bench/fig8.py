@@ -18,12 +18,11 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.adios.fsmodel import IoScalingPoint, IoWeakScalingModel
+from repro.adios.fsmodel import IoPipelinePoint, IoScalingPoint, IoWeakScalingModel
 from repro.bench.calibration import PAPER_FIG8
+from repro.bench.sweep import RANK_LADDER
 from repro.util.tables import Table
 from repro.util.units import GB, TB
-
-RANK_LADDER = (1, 8, 64, 512, 4096)
 
 
 def run_frontier(
@@ -31,6 +30,29 @@ def run_frontier(
 ) -> list[IoScalingPoint]:
     model = IoWeakScalingModel(local_shape=(local_cells,) * 3, seed=seed)
     return model.run(list(ranks))
+
+
+def run_pipeline(
+    *,
+    nranks: int = 4096,
+    steps: int = 4,
+    local_cells: int = 1024,
+    seed: int = 2023,
+    overlap: bool = True,
+) -> IoPipelinePoint:
+    """The async-drain schedule: writes of step k overlap solve k+1."""
+    model = IoWeakScalingModel(local_shape=(local_cells,) * 3, seed=seed)
+    return model.run_pipeline(nranks, steps=steps, overlap=overlap)
+
+
+def render_pipeline(point: IoPipelinePoint) -> str:
+    mode = "async drain (overlapped)" if point.overlap else "blocking writes"
+    return (
+        f"I/O pipeline, {point.nranks} ranks x {point.steps} output steps, "
+        f"{mode}: {point.elapsed_seconds:.1f} s scheduled vs "
+        f"{point.serial_seconds:.1f} s serial "
+        f"({point.overlap_speedup:.3f}x)"
+    )
 
 
 def render_frontier(points: list[IoScalingPoint]) -> str:

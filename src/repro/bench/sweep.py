@@ -1,0 +1,33 @@
+"""Shared scaling-sweep scaffolding for the Frontier-scale models.
+
+The paper runs every weak-scaling experiment over the same factor-of-8
+job-size ladder (Section 4.1): 1 -> 8 -> 64 -> 512 -> 4,096 GPUs. Both
+:class:`repro.mpi.netmodel.WeakScalingModel` (Fig. 6) and
+:class:`repro.adios.fsmodel.IoWeakScalingModel` (Fig. 8) — and the
+figure drivers in :mod:`repro.bench.fig6` / :mod:`repro.bench.fig8` —
+take their ladder from here instead of each hard-coding it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+#: the paper's factor-of-8 job-size ladder (ranks == GCDs)
+RANK_LADDER: tuple[int, ...] = (1, 8, 64, 512, 4096)
+
+P = TypeVar("P")
+
+
+def run_ladder(
+    run_point: Callable[[int], P],
+    nranks_list: Iterable[int] | None = None,
+) -> list[P]:
+    """Evaluate ``run_point`` at every job size of the ladder.
+
+    ``nranks_list=None`` means the paper's :data:`RANK_LADDER`; any
+    iterable of rank counts substitutes a custom sweep.
+    """
+    sizes: Sequence[int] = (
+        RANK_LADDER if nranks_list is None else tuple(nranks_list)
+    )
+    return [run_point(n) for n in sizes]

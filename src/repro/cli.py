@@ -5,7 +5,10 @@ Commands:
 - ``run <settings.json>`` — run the end-to-end workflow from a settings
   file (the artifact's usage pattern) and print the provenance report;
   ``--trace-out``/``--metrics-out`` capture a Chrome/Perfetto trace and
-  a metrics JSON through :mod:`repro.observe`;
+  a metrics JSON through :mod:`repro.observe`; ``--virtual-ranks N``
+  [``--overlap``] switches to the event-driven modeled SPMD mode
+  (:mod:`repro.core.virtual` on :mod:`repro.sched` — thousands of
+  ranks, no threads);
 - ``trace <trace.json>`` — summarize a trace written by
   ``run --trace-out`` (per-category totals, lanes, ASCII timeline);
 - ``lint <settings.json>`` — statically analyze the run the settings
@@ -38,6 +41,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.ranks is not None:
         settings = settings.with_overrides(ranks=args.ranks)
     nranks = settings.ranks
+
+    if args.virtual_ranks is not None:
+        return _run_virtual(args, settings)
+    if args.overlap:
+        print("grayscott: --overlap requires --virtual-ranks", file=sys.stderr)
+        return 2
 
     profiler = None
     if args.trace:
@@ -87,6 +96,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"chrome trace written to {args.trace_out} "
               "(load it at https://ui.perfetto.dev)")
     if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _run_virtual(args: argparse.Namespace, settings) -> int:
+    """``run --virtual-ranks N``: event-driven modeled SPMD execution."""
+    from repro.core.virtual import VirtualWorkflow
+
+    tracer = None
+    if args.trace_out or args.metrics_out:
+        from repro.observe.trace import Tracer
+
+        tracer = Tracer()
+    workflow = VirtualWorkflow(
+        settings,
+        nranks=args.virtual_ranks,
+        overlap=args.overlap,
+        tracer=tracer,
+    )
+    result = workflow.run()
+    print(result.render())
+    if args.trace_out:
+        from repro.observe.export import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              "(load it at https://ui.perfetto.dev)")
+    if args.metrics_out:
+        from repro.observe.export import write_metrics_json
+
+        write_metrics_json(tracer.metrics, args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     return 0
 
@@ -216,6 +256,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.bench import fig5
 
         print(fig5.render(fig5.run()))
+        print()
+        print(fig5.render_virtual(fig5.run_virtual()))
     elif target == "fig6":
         from repro.bench import fig6
 
@@ -280,6 +322,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--ranks", type=int, metavar="N",
         help="override settings.ranks (simulated MPI ranks; 0/1 = serial)",
+    )
+    p_run.add_argument(
+        "--virtual-ranks", type=int, metavar="N",
+        help="run N *modeled* ranks on the discrete-event engine instead "
+             "of executing the solver (thousands of ranks, no threads)",
+    )
+    p_run.add_argument(
+        "--overlap", action="store_true",
+        help="with --virtual-ranks: model the nonblocking halo exchange "
+             "and BP5 async drain (comm/I/O overlap compute)",
     )
     p_run.add_argument(
         "--timings", action="store_true",

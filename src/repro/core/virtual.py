@@ -1,0 +1,256 @@
+"""Virtual SPMD mode: modeled Frontier-scale runs of a settings file.
+
+The thread-backed executor (:mod:`repro.mpi.executor`) runs the *real*
+solver but tops out at a few dozen ranks. This module runs the same
+workflow shape — JIT, then ``steps`` x (kernel, halo exchange), with a
+barrier + BP5 node-aggregated write every ``plotgap`` steps — as
+**virtual processes** on the discrete-event engine (:mod:`repro.sched`),
+with every duration drawn from the calibrated performance models:
+
+- kernel launches from :func:`repro.gpu.proxy.grayscott_launch_cost`
+  (via :class:`~repro.gpu.proxy.VirtualGcd`), with the persistent
+  per-rank jitter of :mod:`repro.mpi.netmodel`;
+- halo-exchange costs from
+  :class:`~repro.mpi.netmodel.HaloExchangeModel`;
+- subfile writes from :class:`~repro.adios.fsmodel.LustreModel`, one
+  aggregator per node on a shared OSS resource.
+
+The settings' grid is the **per-rank local block** (the paper's weak
+scaling: 1024^3 cells per GCD at every job size). ``overlap=True``
+models the nonblocking exchange and BP5 async drain: halo traffic rides
+the NIC while the kernel occupies the GCD, and the write of one output
+step streams while the next solve steps run. A 4,096-rank run is 4,096
+generators in one thread; when an :mod:`repro.observe` tracer is active
+every modeled event lands in the exported Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.frontier import FRONTIER, MachineSpec
+from repro.core.settings import GrayScottSettings
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class VirtualRunResult:
+    """Outcome of one virtual SPMD run (all times are modeled seconds)."""
+
+    nranks: int
+    nnodes: int
+    steps: int
+    output_steps: int
+    backend: str
+    overlap: bool
+    elapsed_seconds: float
+    rank_finish_seconds: np.ndarray
+    kernel_seconds_per_step: float
+    comm_seconds_mean: float
+    jit_seconds: float
+    events_processed: int
+    collectives_per_rank: int
+    results: list
+
+    @property
+    def variability(self) -> float:
+        """(max - min) / mean over rank finish times (the Fig. 6 metric)."""
+        finish = self.rank_finish_seconds
+        return float((finish.max() - finish.min()) / finish.mean())
+
+    def render(self) -> str:
+        from repro.util.tables import Table
+
+        mode = "overlapped (nonblocking halo + async drain)" if self.overlap \
+            else "serial (blocking halo + blocking writes)"
+        table = Table(
+            ["quantity", "value"],
+            title=f"virtual SPMD run: {self.nranks} ranks on "
+                  f"{self.nnodes} node(s), {mode}",
+        )
+        table.add_row(["backend", self.backend])
+        table.add_row(["solve steps", self.steps])
+        table.add_row(["output steps", self.output_steps])
+        table.add_row(["modeled elapsed (s)", f"{self.elapsed_seconds:.3f}"])
+        table.add_row(
+            ["rank finish min/mean/max (s)",
+             f"{self.rank_finish_seconds.min():.3f} / "
+             f"{self.rank_finish_seconds.mean():.3f} / "
+             f"{self.rank_finish_seconds.max():.3f}"]
+        )
+        table.add_row(["variability", f"{self.variability * 100:.1f}%"])
+        table.add_row(
+            ["kernel (s/step)", f"{self.kernel_seconds_per_step:.4g}"]
+        )
+        table.add_row(["halo mean (s/step)", f"{self.comm_seconds_mean:.4g}"])
+        table.add_row(["jit compile (s)", f"{self.jit_seconds:.3f}"])
+        table.add_row(["collectives per rank", self.collectives_per_rank])
+        table.add_row(["engine events", self.events_processed])
+        return table.render()
+
+
+class VirtualWorkflow:
+    """Event-driven "virtual SPMD" execution of a settings file.
+
+    >>> from repro.core.settings import GrayScottSettings
+    >>> s = GrayScottSettings(L=64, steps=4, plotgap=2, backend="julia")
+    >>> result = VirtualWorkflow(s, nranks=16).run()
+    >>> result.nranks, result.output_steps
+    (16, 2)
+    """
+
+    def __init__(
+        self,
+        settings: GrayScottSettings,
+        *,
+        nranks: int | None = None,
+        overlap: bool = False,
+        machine: MachineSpec = FRONTIER,
+        tracer=None,
+    ):
+        from repro.cluster.placement import Placement
+        from repro.mpi.cart import dims_create
+
+        if settings.backend == "cpu":
+            raise ConfigError(
+                "virtual SPMD mode models GCD occupancy; pick a GPU "
+                "backend (julia/hip) in the settings"
+            )
+        self.settings = settings
+        self.nranks = nranks if nranks is not None else max(settings.ranks, 1)
+        if self.nranks < 1:
+            raise ConfigError(f"virtual run needs >= 1 rank, got {self.nranks}")
+        self.overlap = overlap
+        self.machine = machine
+        self.tracer = tracer
+        self.placement = Placement(self.nranks, machine)
+        self.cart_dims = dims_create(self.nranks, 3)
+        #: weak scaling: the settings' grid is each rank's local block
+        self.local_shape = settings.shape
+
+    # -- modeled ingredients ------------------------------------------------
+    def _kernel_jitter(self) -> np.ndarray:
+        from repro.mpi.netmodel import noise_sigma
+        from repro.util.rngs import RngStream
+
+        stream = RngStream(self.settings.seed, ("virtual",))
+        gen = stream.generator("jitter", self.nranks)
+        return gen.normal(0.0, noise_sigma(self.nranks), size=self.nranks)
+
+    def _comm_seconds(self) -> np.ndarray:
+        from repro.mpi.netmodel import HaloExchangeModel
+
+        halo = HaloExchangeModel(
+            self.placement, self.cart_dims, self.local_shape,
+            periodic=self.settings.boundary == "periodic",
+            machine=self.machine,
+        )
+        return np.array(
+            [halo.rank_step_seconds(r).total_seconds for r in range(self.nranks)]
+        )
+
+    def _bytes_per_node(self) -> int:
+        itemsize = 8 if self.settings.precision == "float64" else 4
+        cells = int(np.prod(self.local_shape))
+        ranks_on_full_node = min(self.nranks, self.placement.ranks_per_node)
+        return 2 * cells * itemsize * ranks_on_full_node
+
+    # -- the run ------------------------------------------------------------
+    def run(self) -> VirtualRunResult:
+        from repro.adios.fsmodel import LustreModel
+        from repro.gpu.proxy import VirtualGcd, jit_compile_seconds
+        from repro.sched import Engine, Join, run_virtual_spmd, use
+
+        settings = self.settings
+        nranks, nnodes = self.nranks, self.placement.nnodes
+        engine = Engine(name=f"virtual[{nranks}]", tracer=self.tracer)
+        jitter = self._kernel_jitter()
+        comm = self._comm_seconds()
+        lustre = LustreModel(self.machine, seed=settings.seed)
+        bytes_per_node = self._bytes_per_node()
+        oss = engine.resource(
+            "lustre-oss", capacity=nnodes, lane=("lustre-oss", "write")
+        )
+        output_steps = settings.steps // settings.plotgap
+        overlap = self.overlap
+        leaders = {
+            self.placement.location(r).node: r for r in range(nranks - 1, -1, -1)
+        }
+
+        def program(vcomm):
+            rank = vcomm.rank
+            node = self.placement.location(rank).node
+            gcd = VirtualGcd(
+                engine, rank, shape=self.local_shape,
+                backend=settings.backend, machine=self.machine,
+            )
+            nic = engine.resource(f"nic{rank}", lane=(f"vrank{rank}", "mpi"))
+            scale = float(1.0 + jitter[rank])
+            comm_s = float(comm[rank])
+            yield from gcd.jit()
+            pending_write = None
+            for step in range(1, settings.steps + 1):
+                if overlap:
+                    halo = engine.spawn(
+                        f"vrank{rank}.halo{step}",
+                        use(nic, comm_s, label="halo", cat="mpi"),
+                        lane=(f"vrank{rank}", "mpi"),
+                    )
+                    yield from gcd.kernel(scale)
+                    yield Join(halo)
+                else:
+                    yield from gcd.kernel(scale)
+                    yield from use(nic, comm_s, label="halo", cat="mpi")
+                if step % settings.plotgap == 0:
+                    # output step: all ranks synchronize (BP5 end_step is
+                    # collective), then each node's leader aggregates its
+                    # ranks' blocks into one subfile
+                    yield from vcomm.barrier()
+                    if leaders[node] == rank:
+                        out = step // settings.plotgap
+                        seconds = lustre.write_seconds_per_node(
+                            nnodes, bytes_per_node, sample=f"{out}:{node}"
+                        )
+                        write = use(
+                            oss, seconds, label="bp5.write", cat="adios",
+                            args={"node": node, "output_step": out},
+                        )
+                        if overlap:
+                            if pending_write is not None:
+                                yield Join(pending_write)
+                            pending_write = engine.spawn(
+                                f"node{node}.write{out}", write,
+                                lane=(f"node{node}", "adios"),
+                            )
+                        else:
+                            yield from write
+            if pending_write is not None:
+                yield Join(pending_write)
+            checksum = yield from vcomm.allreduce(scale, op="sum")
+            return checksum
+
+        spmd = run_virtual_spmd(program, nranks, engine=engine)
+        return VirtualRunResult(
+            nranks=nranks,
+            nnodes=nnodes,
+            steps=settings.steps,
+            output_steps=output_steps,
+            backend=settings.backend,
+            overlap=overlap,
+            elapsed_seconds=spmd.elapsed_seconds,
+            rank_finish_seconds=np.array(spmd.rank_finish_seconds),
+            kernel_seconds_per_step=VirtualGcd(
+                engine, 0, shape=self.local_shape, backend=settings.backend,
+                machine=self.machine,
+            ).launch_cost.seconds,
+            comm_seconds_mean=float(comm.mean()),
+            jit_seconds=jit_compile_seconds(settings.backend),
+            events_processed=engine.events_processed,
+            collectives_per_rank=sum(
+                1 for op in spmd.job.op_log[0]
+                if op.kind in ("barrier", "allreduce")
+            ),
+            results=spmd.results,
+        )

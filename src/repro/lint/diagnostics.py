@@ -126,6 +126,10 @@ MPI_WILDCARD = _rule(
     "MPI-WILDCARD", "mpi", Severity.WARNING,
     "wildcard receive (ANY_SOURCE/ANY_TAG) makes matching nondeterministic",
 )
+MPI_COLLECTIVE_ORDER = _rule(
+    "MPI-COLLECTIVE-ORDER", "mpi", Severity.ERROR,
+    "ranks issue collectives in different orders (cross-rank collective mismatch)",
+)
 
 # -- ADIOS protocol rules (repro.lint.adiosproto) ---------------------------
 ADIOS_PUT_OUTSIDE_STEP = _rule(

@@ -22,6 +22,13 @@ order, before anything executes. The checker runs two analyses:
    by **MPI-DEADLOCK** — exactly the mismatched-nonblocking-halo hazard
    the paper's Listing 3 exchange must avoid.
 
+3. **Collective ordering** — every rank must issue the same sequence of
+   collectives (barriers, reductions) in the same order; the first rank
+   whose sequence diverges from rank 0's is reported as
+   **MPI-COLLECTIVE-ORDER**. Plans with collectives come from
+   :func:`repro.sched.record_plan`, which symbolically executes a
+   virtual-SPMD rank program.
+
 :func:`halo_exchange_plan` builds the plan of the built-in Cartesian
 ghost exchange (:mod:`repro.core.exchange`) from ``dims``/``periods``
 alone, using the same rank ordering as :class:`repro.mpi.cart.CartComm`
@@ -43,9 +50,9 @@ from repro.util.errors import LintError
 
 @dataclass(frozen=True)
 class PlanOp:
-    """One point-to-point operation of one rank's program."""
+    """One operation of one rank's program (point-to-point or collective)."""
 
-    kind: str  # "send" | "recv"
+    kind: str  # "send" | "recv" | "coll"
     rank: int
     peer: int  # dest for sends; source (or ANY_SOURCE) for recvs
     tag: int  # ANY_TAG allowed on recvs
@@ -54,12 +61,17 @@ class PlanOp:
     #: rendezvous (completes when the matching receive is posted)
     buffered: bool = True
     where: str = ""  # human-readable origin, e.g. "axis0/+1"
+    #: collectives only: the collective's name, e.g. "barrier",
+    #: "allreduce[sum]" — ordering is checked across ranks by name
+    coll: str = ""
 
     def describe(self) -> str:
+        origin = f" [{self.where}]" if self.where else ""
+        if self.kind == "coll":
+            return f"rank {self.rank}: {self.coll}(){origin}"
         peer = {ANY_SOURCE: "ANY_SOURCE"}.get(self.peer, str(self.peer))
         tag = {ANY_TAG: "ANY_TAG"}.get(self.tag, str(self.tag))
         mode = "" if self.blocking else "i"
-        origin = f" [{self.where}]" if self.where else ""
         if self.kind == "send":
             return f"rank {self.rank}: {mode}send(dest={peer}, tag={tag}){origin}"
         return f"rank {self.rank}: {mode}recv(source={peer}, tag={tag}){origin}"
@@ -78,6 +90,11 @@ class CommPlan:
                 f"plan op on rank {op.rank} outside communicator of "
                 f"size {self.nranks}"
             )
+        if op.kind == "coll":
+            if not op.coll:
+                raise LintError("collective plan ops need a name")
+            self.ops.append(op)
+            return self
         if op.peer != PROC_NULL:
             valid_peer = (
                 0 <= op.peer < self.nranks
@@ -97,6 +114,10 @@ class CommPlan:
 
     def recv(self, rank: int, source: int, tag: int, **kw) -> "CommPlan":
         return self.add(PlanOp("recv", rank, source, tag, **kw))
+
+    def collective(self, rank: int, name: str, **kw) -> "CommPlan":
+        """Append a collective call (barrier, reduction, ...) to a rank."""
+        return self.add(PlanOp("coll", rank, PROC_NULL, 0, coll=name, **kw))
 
     def program(self, rank: int) -> list[PlanOp]:
         return [op for op in self.ops if op.rank == rank]
@@ -187,13 +208,17 @@ def halo_exchange_plan(
 
 
 def check_plan(plan: CommPlan, *, report: LintReport | None = None) -> LintReport:
-    """Run matching + deadlock analysis over one plan."""
+    """Run matching + deadlock + collective-ordering analysis over one plan."""
     report = report if report is not None else LintReport()
     _check_matching(plan, report)
     _check_deadlock(plan, report)
+    _check_collective_order(plan, report)
     report.record_fact("mpi.plan.nranks", plan.nranks)
     report.record_fact("mpi.plan.messages", sum(
         1 for op in plan.ops if op.kind == "send"
+    ))
+    report.record_fact("mpi.plan.collectives", sum(
+        1 for op in plan.ops if op.kind == "coll"
     ))
     return report
 
@@ -203,6 +228,8 @@ def _check_matching(plan: CommPlan, report: LintReport) -> None:
     recvs: dict[tuple, list[PlanOp]] = {}
     wildcards: list[PlanOp] = []
     for op in plan.ops:
+        if op.kind == "coll":
+            continue
         if op.kind == "send":
             sends.setdefault((op.rank, op.peer, op.tag), []).append(op)
         elif op.peer == ANY_SOURCE or op.tag == ANY_TAG:
@@ -325,6 +352,12 @@ def _check_deadlock(plan: CommPlan, report: LintReport) -> None:
             program = programs[rank]
             while pc[rank] < len(program):
                 op = program[pc[rank]]
+                if op.kind == "coll":
+                    # cross-rank collective blocking is analyzed by the
+                    # ordering check; the abstract scheduler passes through
+                    pc[rank] += 1
+                    progress = True
+                    continue
                 if op.kind == "send":
                     if op.buffered or not op.blocking:
                         pass  # eager: completes immediately
@@ -353,3 +386,45 @@ def _check_deadlock(plan: CommPlan, report: LintReport) -> None:
         hint="break the cycle: post receives before blocking sends, or "
              "use the nonblocking overlapped exchange",
     )
+
+
+def _check_collective_order(plan: CommPlan, report: LintReport) -> None:
+    """Every rank must issue the same collectives in the same order.
+
+    Rank 0's sequence is the reference; each other rank is compared
+    against it and the first divergence (different collective, or a
+    shorter/longer sequence) is reported. A skewed order hangs or
+    corrupts a real job — e.g. rank 0 calling ``allreduce`` while rank 1
+    sits in ``barrier`` pairs the wrong collectives with each other.
+    """
+    sequences = {
+        rank: [op for op in plan.program(rank) if op.kind == "coll"]
+        for rank in range(plan.nranks)
+    }
+    if not any(sequences.values()):
+        return
+    reference = sequences[0]
+    for rank in range(1, plan.nranks):
+        sequence = sequences[rank]
+        for pos, (ref, got) in enumerate(zip(reference, sequence)):
+            if ref.coll != got.coll:
+                report.add(
+                    D.MPI_COLLECTIVE_ORDER, f"rank{rank}",
+                    f"collective #{pos} diverges from rank 0: rank 0 calls "
+                    f"{ref.coll}() but {got.describe()}",
+                    hint="issue collectives in the same order on every rank",
+                )
+                break
+        else:
+            if len(sequence) != len(reference):
+                short, long_ = sorted(
+                    [(len(sequence), rank), (len(reference), 0)]
+                )
+                extra = (reference if long_[1] == 0 else sequence)[short[0]]
+                report.add(
+                    D.MPI_COLLECTIVE_ORDER, f"rank{rank}",
+                    f"rank {rank} issues {len(sequence)} collective(s) but "
+                    f"rank 0 issues {len(reference)}; rank {long_[1]} is "
+                    f"alone in {extra.coll}() at position {short[0]}",
+                    hint="every rank must participate in every collective",
+                )

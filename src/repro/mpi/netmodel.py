@@ -19,6 +19,15 @@ substitution table):
   step time is the max over ranks ("the overall communication overhead
   is dictated by the slowest time-to-solution processes").
 
+Each sampled rank runs as a virtual process on the discrete-event
+engine (:mod:`repro.sched`): kernel time occupies the rank's GCD
+resource and halo time its NIC resource, so ``overlap=True`` models the
+nonblocking exchange (comm proceeds while the next kernel runs, per
+step cost ~max(kernel, comm)) and the run exports a Perfetto timeline
+whenever an :mod:`repro.observe` tracer is active. With ``overlap``
+disabled the virtual schedule degenerates to the serial sum the scalar
+model used to compute.
+
 All randomness flows from a :class:`~repro.util.rngs.RngStream`, so a
 given seed reproduces the figure exactly.
 """
@@ -162,6 +171,8 @@ class WeakScalingPoint:
     rank_seconds: np.ndarray  # per-rank total wall-clock
     kernel_seconds_per_step: float
     comm_seconds_mean: float
+    #: True when the nonblocking-exchange schedule produced these times
+    overlap: bool = False
 
     @property
     def min_seconds(self) -> float:
@@ -223,6 +234,7 @@ class WeakScalingModel:
         steps: int = 20,
         backend: str = "julia",
         gpu_aware: bool = False,
+        overlap: bool = False,
         machine: MachineSpec = FRONTIER,
         seed: int = 2023,
         sample_cap: int = 65536,
@@ -231,12 +243,37 @@ class WeakScalingModel:
         self.steps = steps
         self.backend = backend
         self.gpu_aware = gpu_aware
+        #: nonblocking exchange: per step the halo traffic rides the NIC
+        #: while the next kernel occupies the GCD (Listing 3's irecv/
+        #: isend schedule), so a step costs ~max(kernel, comm) instead
+        #: of kernel + comm
+        self.overlap = overlap
         self.machine = machine
         self.stream = RngStream(seed, ("fig6",))
         self.sample_cap = sample_cap
 
+    def _rank_program(self, engine, rank: int, kernel_s: float, comm_s: float):
+        """One virtual rank: ``steps`` x (kernel on GCD, halo on NIC)."""
+        from repro.sched import Join, use
+
+        gcd = engine.resource(f"gcd{rank}", lane=(f"gcd{rank}", "kernel"))
+        nic = engine.resource(f"nic{rank}", lane=(f"vrank{rank}", "mpi"))
+        for step in range(self.steps):
+            if self.overlap:
+                halo = engine.spawn(
+                    f"vrank{rank}.halo{step}",
+                    use(nic, comm_s, label="halo", cat="mpi"),
+                    lane=(f"vrank{rank}", "mpi"),
+                )
+                yield from use(gcd, kernel_s, label="kernel", cat="gpu")
+                yield Join(halo)
+            else:
+                yield from use(gcd, kernel_s, label="kernel", cat="gpu")
+                yield from use(nic, comm_s, label="halo", cat="mpi")
+
     def run_point(self, nranks: int) -> WeakScalingPoint:
         from repro.gpu.proxy import grayscott_launch_cost
+        from repro.sched import Engine
 
         placement = Placement(nranks, self.machine)
         cart_dims = dims_create(nranks, 3)
@@ -260,8 +297,22 @@ class WeakScalingModel:
         # which with noise_sigma() lands on the paper's 2-3% (<=512) and
         # 12-15% (4,096) variability bands.
         jitter = gen.normal(0.0, sigma, size=nsample)
-        per_step = kernel.seconds * (1.0 + jitter) + comm
-        rank_seconds = per_step * self.steps
+        kernel_seconds = kernel.seconds * (1.0 + jitter)
+
+        engine = Engine(name=f"fig6[{nranks}]")
+        processes = [
+            engine.spawn(
+                f"vrank{rank}",
+                self._rank_program(
+                    engine, rank, float(kernel_seconds[rank]), float(comm[rank])
+                ),
+                lane=(f"vrank{rank}", "core"),
+            )
+            for rank in range(nsample)
+        ]
+        engine.run()
+        engine.check_quiescent()
+        rank_seconds = np.array([p.finished_at for p in processes])
         return WeakScalingPoint(
             nranks=nranks,
             nnodes=placement.nnodes,
@@ -270,8 +321,11 @@ class WeakScalingModel:
             rank_seconds=rank_seconds,
             kernel_seconds_per_step=kernel.seconds,
             comm_seconds_mean=float(comm.mean()),
+            overlap=self.overlap,
         )
 
-    def run(self, nranks_list=(1, 8, 64, 512, 4096)) -> list[WeakScalingPoint]:
+    def run(self, nranks_list=None) -> list[WeakScalingPoint]:
         """The paper's factor-of-8 job-size ladder (Section 4.1)."""
-        return [self.run_point(n) for n in nranks_list]
+        from repro.bench.sweep import run_ladder
+
+        return run_ladder(self.run_point, nranks_list)

@@ -1,0 +1,56 @@
+"""repro.sched — the discrete-event virtual-time engine.
+
+Unifies the three calibrated performance models (GPU roofline, LogGP
+network, Lustre file system) behind one deterministic event queue so
+compute, halo exchange, and parallel I/O can genuinely *overlap* in
+virtual time — and so thousands of modeled ranks run as cooperative
+generators instead of threads. See ``docs/SCHEDULER.md``.
+"""
+
+from repro.sched.engine import (
+    Acquire,
+    Barrier,
+    Delay,
+    Engine,
+    Join,
+    Process,
+    Release,
+    Resource,
+    Signal,
+    Wait,
+    delay,
+    series,
+    use,
+)
+from repro.sched.vspmd import (
+    VirtualComm,
+    VirtualJob,
+    VirtualOp,
+    VspmdResult,
+    record_ops,
+    record_plan,
+    run_virtual_spmd,
+)
+
+__all__ = [
+    "Acquire",
+    "Barrier",
+    "Delay",
+    "Engine",
+    "Join",
+    "Process",
+    "Release",
+    "Resource",
+    "Signal",
+    "Wait",
+    "delay",
+    "series",
+    "use",
+    "VirtualComm",
+    "VirtualJob",
+    "VirtualOp",
+    "VspmdResult",
+    "record_ops",
+    "record_plan",
+    "run_virtual_spmd",
+]

@@ -82,6 +82,15 @@ class LintError(ReproError):
     """
 
 
+class SchedError(ReproError):
+    """Base class for errors raised by the discrete-event engine.
+
+    Raised for structural scheduling bugs — negative or non-finite
+    delays, resource over-release, processes stuck at quiescence
+    (virtual deadlock) — never for modeled outcomes.
+    """
+
+
 class GpuError(ReproError):
     """Base class for errors raised by the GPU simulator."""
 

@@ -15,8 +15,9 @@ adding a modeled duration to a measured one.
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.util.errors import TimerError
 
@@ -120,16 +121,31 @@ class SimClock:
 
     def advance(self, seconds: float) -> float:
         """Advance by a modeled duration; returns the new timestamp."""
-        if seconds < 0:
+        if not math.isfinite(seconds) or seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds}")
         self.now += seconds
         return self.now
 
-    def advance_to(self, timestamp: float) -> float:
-        """Advance to at least ``timestamp`` (no-op if in the past)."""
-        if timestamp > self.now:
-            self.now = timestamp
+    def advance_to(self, timestamp: float, *, strict: bool = False) -> float:
+        """Advance to at least ``timestamp``; the clock never runs backwards.
+
+        A past timestamp is a no-op (max-style synchronization) unless
+        ``strict=True``, in which case it raises — the discrete-event
+        engine drives its clock strictly, so a backwards event exposes
+        a scheduling bug instead of being silently absorbed.
+        """
+        if math.isnan(timestamp):
+            raise ValueError("cannot advance clock to NaN")
+        if timestamp < self.now:
+            if strict:
+                raise ValueError(
+                    f"clock cannot run backwards: advance_to({timestamp}) "
+                    f"at now={self.now}"
+                )
+            return self.now
+        self.now = timestamp
         return self.now
 
     def copy(self) -> "SimClock":
-        return SimClock(self.now)
+        """A detached copy; preserves subclass fields by construction."""
+        return replace(self)

@@ -1,0 +1,47 @@
+"""The CI benchmark smoke harness itself (benchmarks/smoke.py)."""
+
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture()
+def smoke():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import smoke  # noqa: F401
+
+        yield sys.modules["smoke"]
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+        sys.modules.pop("smoke", None)
+
+
+def test_smoke_passes(smoke):
+    out = io.StringIO()
+    assert smoke.run_smoke(out) == 0
+    assert "benchmark smoke OK" in out.getvalue()
+
+
+def test_smoke_fails_on_format_drift(smoke, monkeypatch):
+    drifted = [
+        ("fig6", lambda: "Figure Six: renamed title", [r"Figure 6: weak scaling"]),
+    ]
+    monkeypatch.setattr(smoke, "CHECKS", drifted)
+    out = io.StringIO()
+    assert smoke.run_smoke(out) == 1
+    assert "format drift" in out.getvalue()
+
+
+def test_smoke_fails_on_crash(smoke, monkeypatch):
+    def boom():
+        raise RuntimeError("bench exploded")
+
+    monkeypatch.setattr(smoke, "CHECKS", [("fig6", boom, [r"x"])])
+    out = io.StringIO()
+    assert smoke.run_smoke(out) == 1
+    assert "bench exploded" in out.getvalue()

@@ -1,0 +1,110 @@
+"""Virtual SPMD workflow mode (repro.core.virtual)."""
+
+import numpy as np
+import pytest
+
+from repro.core.settings import GrayScottSettings
+from repro.core.virtual import VirtualRunResult, VirtualWorkflow
+from repro.util.errors import ConfigError
+
+
+def _settings(**kw):
+    base = dict(L=64, steps=4, plotgap=2, backend="julia")
+    base.update(kw)
+    return GrayScottSettings(**base)
+
+
+class TestConstruction:
+    def test_cpu_backend_rejected(self):
+        with pytest.raises(ConfigError, match="GPU backend"):
+            VirtualWorkflow(_settings(backend="cpu"))
+
+    def test_nranks_defaults_to_settings(self):
+        wf = VirtualWorkflow(_settings(ranks=16))
+        assert wf.nranks == 16
+
+    def test_explicit_nranks_wins(self):
+        wf = VirtualWorkflow(_settings(ranks=16), nranks=4)
+        assert wf.nranks == 4
+
+    def test_settings_grid_is_local_block(self):
+        wf = VirtualWorkflow(_settings(L=64), nranks=8)
+        assert wf.local_shape == (64, 64, 64)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return VirtualWorkflow(_settings(), nranks=16).run()
+
+    @pytest.fixture(scope="class")
+    def overlapped(self):
+        return VirtualWorkflow(_settings(), nranks=16, overlap=True).run()
+
+    def test_result_shape(self, serial):
+        assert isinstance(serial, VirtualRunResult)
+        assert serial.nranks == 16
+        assert serial.steps == 4
+        assert serial.output_steps == 2
+        assert serial.rank_finish_seconds.shape == (16,)
+        assert serial.events_processed > 0
+
+    def test_all_ranks_agree_on_checksum(self, serial):
+        # the final allreduce makes every rank's return value identical
+        assert len(set(serial.results)) == 1
+
+    def test_overlap_is_never_slower(self, serial, overlapped):
+        assert overlapped.elapsed_seconds < serial.elapsed_seconds
+
+    def test_overlap_bounded_below_by_components(self, overlapped):
+        # per-step time can't beat max(kernel, halo); whole run can't
+        # beat steps * kernel occupancy
+        floor = overlapped.steps * max(
+            overlapped.kernel_seconds_per_step, overlapped.comm_seconds_mean
+        )
+        assert overlapped.elapsed_seconds >= floor
+
+    def test_collectives_counted(self, serial):
+        # one barrier per output step + the final allreduce
+        assert serial.collectives_per_rank == serial.output_steps + 1
+
+    def test_variability_metric(self, serial):
+        finish = serial.rank_finish_seconds
+        expected = (finish.max() - finish.min()) / finish.mean()
+        assert serial.variability == pytest.approx(expected)
+
+    def test_render_mentions_mode_and_ranks(self, serial, overlapped):
+        assert "serial" in serial.render()
+        assert "overlapped" in overlapped.render()
+        assert "16 ranks" in serial.render()
+
+    def test_deterministic_across_runs(self, serial):
+        again = VirtualWorkflow(_settings(), nranks=16).run()
+        np.testing.assert_array_equal(
+            again.rank_finish_seconds, serial.rank_finish_seconds
+        )
+        assert again.elapsed_seconds == serial.elapsed_seconds
+
+
+class TestFrontierScale:
+    def test_4096_ranks_single_thread_with_perfetto_export(self):
+        """ISSUE acceptance: a 4,096-virtual-rank modeled run completes
+        without threads and exports a valid Perfetto trace."""
+        import threading
+
+        from repro.observe.export import to_chrome_trace, validate_chrome_trace
+        from repro.observe.trace import Tracer
+
+        tracer = Tracer()
+        threads_before = threading.active_count()
+        result = VirtualWorkflow(
+            _settings(steps=2, plotgap=2), nranks=4096, overlap=True,
+            tracer=tracer,
+        ).run()
+        assert threading.active_count() == threads_before
+        assert result.nranks == 4096
+        assert result.nnodes == 512
+        assert len(set(result.results)) == 1
+        obj = to_chrome_trace(tracer)
+        validate_chrome_trace(obj)
+        assert len(obj["traceEvents"]) > 4096

@@ -150,3 +150,96 @@ class TestDeadlock:
             .recv(1, 0, tag=0).send(1, 0, tag=1)
         )
         assert "MPI-DEADLOCK" not in _rules(check_plan(plan))
+
+
+class TestCollectiveOrder:
+    def test_matching_order_is_clean(self):
+        plan = CommPlan(3)
+        for rank in range(3):
+            plan.collective(rank, "barrier")
+            plan.collective(rank, "allreduce[sum]")
+        report = check_plan(plan)
+        assert "MPI-COLLECTIVE-ORDER" not in _rules(report)
+        assert report.facts["mpi.plan.collectives"] == 6
+
+    def test_swapped_order_is_flagged(self):
+        plan = (
+            CommPlan(2)
+            .collective(0, "allreduce[sum]").collective(0, "barrier")
+            .collective(1, "barrier").collective(1, "allreduce[sum]")
+        )
+        report = check_plan(plan)
+        diags = [d for d in report.diagnostics if d.rule == "MPI-COLLECTIVE-ORDER"]
+        assert len(diags) == 1
+        assert "collective #0" in diags[0].message
+
+    def test_missing_collective_is_flagged(self):
+        plan = (
+            CommPlan(2)
+            .collective(0, "barrier").collective(0, "barrier")
+            .collective(1, "barrier")
+        )
+        report = check_plan(plan)
+        diags = [d for d in report.diagnostics if d.rule == "MPI-COLLECTIVE-ORDER"]
+        assert len(diags) == 1
+        assert "rank 1 issues 1 collective(s)" in diags[0].message
+
+    def test_collectives_do_not_disturb_p2p_checks(self):
+        plan = (
+            CommPlan(2)
+            .collective(0, "barrier").collective(1, "barrier")
+            .send(0, 1, tag=0).recv(1, 0, tag=0)
+        )
+        report = check_plan(plan)
+        assert not _rules(report)
+
+    def test_empty_collective_name_rejected(self):
+        with pytest.raises(LintError):
+            CommPlan(2).collective(0, "")
+
+    def test_seeded_bug_virtual_spmd_script(self):
+        """The lint predicts the hang a skewed virtual-SPMD program hits."""
+        from repro.sched import record_plan, run_virtual_spmd
+        from repro.util.errors import SchedError
+
+        def skewed(comm):
+            if comm.rank == 0:
+                total = yield from comm.allreduce(comm.rank, op="sum")
+                yield from comm.barrier()
+            else:
+                yield from comm.barrier()
+                total = yield from comm.allreduce(comm.rank, op="sum")
+            return total
+
+        report = check_plan(record_plan(skewed, 4))
+        offenders = {
+            d.location
+            for d in report.diagnostics
+            if d.rule == "MPI-COLLECTIVE-ORDER"
+        }
+        assert offenders == {"rank1", "rank2", "rank3"}
+
+        def uniform(comm):
+            yield from comm.barrier()
+            total = yield from comm.allreduce(comm.rank, op="sum")
+            return total
+
+        assert "MPI-COLLECTIVE-ORDER" not in _rules(check_plan(record_plan(uniform, 4)))
+        # the virtual run confirms the static verdict: skewed ordering
+        # pairs the wrong collectives, so rank 0 reduces over only its
+        # own contribution (silent corruption) while the uniform program
+        # reduces over all four ranks
+        skewed_run = run_virtual_spmd(skewed, 4)
+        assert skewed_run.results[0] != sum(range(4))
+        assert run_virtual_spmd(uniform, 4).results == [sum(range(4))] * 4
+
+        def missing(comm):
+            yield from comm.barrier()
+            if comm.rank == 0:
+                yield from comm.barrier()  # nobody else arrives
+
+        report = check_plan(record_plan(missing, 4))
+        assert "MPI-COLLECTIVE-ORDER" in _rules(report)
+        # ... and at runtime the lone barrier is a virtual deadlock
+        with pytest.raises(SchedError):
+            run_virtual_spmd(missing, 4)

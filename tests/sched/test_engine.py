@@ -1,0 +1,283 @@
+"""The discrete-event engine: ordering, resources, processes, mirroring."""
+
+import pytest
+
+from repro.observe.trace import SIM, Tracer
+from repro.sched import Delay, Engine, Join, Release, Wait, delay, series, use
+from repro.util.errors import SchedError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine(mirror=False)
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("late"))
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.schedule(3.0, lambda: fired.append("last"))
+        assert engine.run() == 3.0
+        assert fired == ["early", "late", "last"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = Engine(mirror=False)
+        fired = []
+        for i in range(50):
+            engine.schedule(1.0, lambda i=i: fired.append(i))
+        engine.run()
+        assert fired == list(range(50))
+
+    def test_negative_delay_rejected(self):
+        engine = Engine(mirror=False)
+        with pytest.raises(SchedError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_nonfinite_delay_rejected(self):
+        engine = Engine(mirror=False)
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(SchedError):
+                engine.schedule(bad, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = Engine(mirror=False)
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        assert engine.run(until=2.0) == 2.0
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = Engine(mirror=False)
+        fired = []
+        engine.schedule(
+            1.0, lambda: engine.schedule(1.0, lambda: fired.append("chained"))
+        )
+        assert engine.run() == 2.0
+        assert fired == ["chained"]
+
+
+class TestProcesses:
+    def test_delays_accumulate(self):
+        engine = Engine(mirror=False)
+
+        def program():
+            yield Delay(1.5)
+            yield Delay(2.5)
+            return "done"
+
+        process = engine.spawn("p", program())
+        engine.run()
+        assert process.result == "done"
+        assert process.finished_at == 4.0
+
+    def test_spawn_rejects_non_generator(self):
+        engine = Engine(mirror=False)
+        with pytest.raises(SchedError, match="generator"):
+            engine.spawn("p", lambda: None)
+
+    def test_invalid_yield_rejected(self):
+        engine = Engine(mirror=False)
+
+        def program():
+            yield "not a command"
+
+        engine.spawn("p", program())
+        with pytest.raises(SchedError, match="yielded"):
+            engine.run()
+
+    def test_join_returns_result(self):
+        engine = Engine(mirror=False)
+
+        def child():
+            yield Delay(3.0)
+            return 42
+
+        def parent(c):
+            got = yield Join(c)
+            return got
+
+        c = engine.spawn("child", child())
+        p = engine.spawn("parent", parent(c))
+        engine.run()
+        assert p.result == 42
+        assert p.finished_at == 3.0
+
+    def test_join_already_finished_process(self):
+        engine = Engine(mirror=False)
+
+        def child():
+            yield Delay(1.0)
+            return "early"
+
+        def parent(c):
+            yield Delay(5.0)
+            got = yield Join(c)
+            return got
+
+        c = engine.spawn("child", child())
+        p = engine.spawn("parent", parent(c))
+        engine.run()
+        assert p.result == "early"
+        assert p.finished_at == 5.0
+
+    def test_wait_on_signal(self):
+        engine = Engine(mirror=False)
+        signal = engine.signal("go")
+
+        def waiter():
+            value = yield Wait(signal)
+            return value
+
+        p = engine.spawn("w", waiter())
+        engine.schedule(2.0, lambda: signal.fire("payload"))
+        engine.run()
+        assert p.result == "payload"
+        assert p.finished_at == 2.0
+
+    def test_signal_fires_once(self):
+        engine = Engine(mirror=False)
+        signal = engine.signal()
+        signal.fire()
+        with pytest.raises(SchedError, match="twice"):
+            signal.fire()
+
+    def test_series_composes(self):
+        engine = Engine(mirror=False)
+        p = engine.spawn("s", series([delay(1.0), delay(2.0)]))
+        engine.run()
+        assert p.finished_at == 3.0
+
+    def test_check_quiescent_reports_stuck(self):
+        engine = Engine(mirror=False)
+        signal = engine.signal("never")
+
+        def stuck():
+            yield Wait(signal)
+
+        engine.spawn("stuck-proc", stuck())
+        engine.run()
+        with pytest.raises(SchedError, match="stuck-proc"):
+            engine.check_quiescent()
+
+
+class TestResources:
+    def test_capacity_one_serializes(self):
+        engine = Engine(mirror=False)
+        gcd = engine.resource("gcd")
+        a = engine.spawn("a", use(gcd, 2.0))
+        b = engine.spawn("b", use(gcd, 3.0))
+        engine.run()
+        # FIFO: a holds [0, 2), b waits then holds [2, 5)
+        assert a.finished_at == 2.0
+        assert b.finished_at == 5.0
+        assert gcd.stats.waits == 1
+        assert gcd.stats.wait_seconds == 2.0
+        assert gcd.stats.busy_seconds == 5.0
+
+    def test_capacity_two_overlaps(self):
+        engine = Engine(mirror=False)
+        link = engine.resource("link", capacity=2)
+        a = engine.spawn("a", use(link, 2.0))
+        b = engine.spawn("b", use(link, 3.0))
+        engine.run()
+        assert a.finished_at == 2.0
+        assert b.finished_at == 3.0
+        assert link.stats.waits == 0
+
+    def test_over_release_raises(self):
+        engine = Engine(mirror=False)
+        res = engine.resource("r")
+
+        def bad():
+            yield Release(res)
+
+        engine.spawn("bad", bad())
+        with pytest.raises(SchedError, match="over-release"):
+            engine.run()
+
+    def test_memoized_capacity_conflict(self):
+        engine = Engine(mirror=False)
+        engine.resource("oss", capacity=4)
+        assert engine.resource("oss", capacity=4).capacity == 4
+        with pytest.raises(SchedError, match="capacity"):
+            engine.resource("oss", capacity=8)
+
+    def test_acquire_more_than_capacity_raises(self):
+        engine = Engine(mirror=False)
+        res = engine.resource("r", capacity=2)
+        engine.spawn("p", use(res, 1.0, tokens=3))
+        with pytest.raises(SchedError, match="acquire"):
+            engine.run()
+
+
+class TestBarrier:
+    def test_all_leave_at_last_arrival(self):
+        engine = Engine(mirror=False)
+        barrier = engine.barrier(3)
+
+        def party(seconds):
+            yield Delay(seconds)
+            yield from barrier.wait()
+
+        procs = [engine.spawn(f"p{i}", party(s)) for i, s in enumerate((1.0, 5.0, 3.0))]
+        engine.run()
+        assert [p.finished_at for p in procs] == [5.0, 5.0, 5.0]
+
+    def test_reusable_generations(self):
+        engine = Engine(mirror=False)
+        barrier = engine.barrier(2)
+
+        def party(seconds):
+            for _ in range(3):
+                yield Delay(seconds)
+                yield from barrier.wait()
+
+        a = engine.spawn("a", party(1.0))
+        b = engine.spawn("b", party(2.0))
+        engine.run()
+        # every round synchronizes at the slower party: 2, 4, 6
+        assert a.finished_at == b.finished_at == 6.0
+        assert barrier.generation == 3
+
+
+class TestMirroring:
+    def test_labelled_delay_becomes_sim_span(self):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+
+        def program():
+            yield Delay(1.0)  # unlabelled: silent
+            yield Delay(2.0, label="kernel", cat="gpu", lane=("gcd0", "kernel"))
+
+        engine.spawn("p", program())
+        engine.run()
+        spans = tracer.spans
+        assert len(spans) == 1
+        assert spans[0].name == "kernel"
+        assert spans[0].clock == SIM
+        assert spans[0].start == 1.0
+        assert spans[0].seconds == 2.0
+        assert engine.spans_mirrored == 1
+
+    def test_use_attributes_span_to_resource_lane(self):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+        oss = engine.resource("oss", lane=("lustre", "write"))
+        engine.spawn("p", use(oss, 4.0, label="bp5.write", cat="adios"))
+        engine.run()
+        (span,) = tracer.spans
+        assert (span.process, span.thread) == ("lustre", "write")
+        assert span.cat == "adios"
+
+    def test_events_processed_metric_recorded(self):
+        tracer = Tracer()
+        engine = Engine(name="m", tracer=tracer)
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        gauges = tracer.metrics.gauges()
+        assert any(g.name == "sched.events_processed" for g in gauges)
+
+    def test_mirror_false_suppresses_spans(self):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer, mirror=False)
+        engine.spawn("p", delay(1.0, label="kernel"))
+        engine.run()
+        assert tracer.spans == []

@@ -198,3 +198,50 @@ class TestCliCompare:
         b = self._make(tmp_path, "d", seed=2)
         capsys.readouterr()
         assert main(["compare", str(a), str(b), "--strict"]) == 1
+
+
+class TestCliVirtual:
+    def _gpu_settings(self, tmp_path):
+        path = tmp_path / "v.json"
+        GrayScottSettings(
+            L=64, steps=4, plotgap=2, backend="julia",
+        ).save(path)
+        return path
+
+    def test_virtual_run(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        assert main(["run", str(path), "--virtual-ranks", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual SPMD run: 16 ranks" in out
+        assert "serial" in out
+
+    def test_virtual_run_overlap(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        assert main(
+            ["run", str(path), "--virtual-ranks", "16", "--overlap"]
+        ) == 0
+        assert "overlapped" in capsys.readouterr().out
+
+    def test_overlap_requires_virtual_ranks(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        assert main(["run", str(path), "--overlap"]) == 2
+        assert "--virtual-ranks" in capsys.readouterr().err
+
+    def test_virtual_trace_export(self, tmp_path, capsys):
+        import json
+
+        from repro.observe.export import validate_chrome_trace
+
+        path = self._gpu_settings(tmp_path)
+        t_json = tmp_path / "virt.json"
+        assert main([
+            "run", str(path), "--virtual-ranks", "8", "--overlap",
+            "--trace-out", str(t_json),
+        ]) == 0
+        validate_chrome_trace(json.loads(t_json.read_text()))
+
+    def test_virtual_rejects_cpu_backend(self, tmp_path, capsys):
+        path = tmp_path / "cpu.json"
+        GrayScottSettings(L=12, steps=2, backend="cpu").save(path)
+        assert main(["run", str(path), "--virtual-ranks", "4"]) == 1
+        assert "backend" in capsys.readouterr().err.lower()

@@ -79,3 +79,25 @@ class TestSimClock:
         other.advance(1.0)
         assert clock.now == 1.0
         assert other.now == 2.0
+
+    def test_advance_to_strict_rejects_backwards(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(3.0, strict=True)
+        assert clock.advance_to(5.0, strict=True) == 5.0  # equal is fine
+
+    def test_advance_to_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            SimClock().advance_to(float("nan"))
+
+    def test_copy_preserves_subclass_fields(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class StampedClock(SimClock):
+            epoch: str = "t0"
+
+        clock = StampedClock(2.0, epoch="boot")
+        other = clock.copy()
+        assert isinstance(other, StampedClock)
+        assert (other.now, other.epoch) == (2.0, "boot")
