@@ -1,0 +1,94 @@
+"""Self-performance benchmark CLI: time the simulator's own hot paths.
+
+Runs :mod:`repro.bench.perfsuite` and writes the schema-stable
+``BENCH_selfperf.json``. CI runs ``--quick --check`` on every push:
+the regression gate compares the run's *dimensionless* quantities
+(optimized-vs-reference speedups, normalized event rate, bit-identity
+flags) against the committed baseline and fails on anything >25%
+worse — raw seconds are recorded for humans but never gated, because
+CI hosts differ.
+
+Refresh the baseline after an intentional perf change::
+
+    PYTHONPATH=src python benchmarks/bench_selfperf.py --quick \
+        --write-baseline
+
+which derates the measured speedups/rates by 2x before committing
+them as floors (microsecond-scale cases jitter run to run; a real
+regression collapses the ratio far below any jitter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_selfperf_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale problem sizes (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_selfperf.json", metavar="PATH",
+        help="where to write the results JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", nargs="?", const=str(DEFAULT_BASELINE), default=None,
+        metavar="BASELINE",
+        help="gate against a baseline JSON (default when given without "
+             "a value: %(const)s); exit 1 on >25%% regression",
+    )
+    parser.add_argument(
+        "--write-baseline", nargs="?", const=str(DEFAULT_BASELINE),
+        default=None, metavar="PATH",
+        help="also write a derated baseline (default when given without "
+             "a value: %(const)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import perfsuite
+
+    suite = perfsuite.run_suite(quick=args.quick)
+    print(perfsuite.render(suite))
+    payload = perfsuite.to_json(suite)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"results written to {out}")
+
+    if args.write_baseline is not None:
+        baseline_out = Path(args.write_baseline)
+        baseline_out.write_text(
+            json.dumps(perfsuite.to_baseline(payload), indent=2) + "\n"
+        )
+        print(f"derated baseline written to {baseline_out}")
+
+    broken = [c.name for c in suite.cases if c.identical is False]
+    if broken:
+        print(f"FAIL: non-identical optimized paths: {broken}", file=sys.stderr)
+        return 1
+
+    if args.check is not None:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            print(f"FAIL: baseline {baseline_path} not found", file=sys.stderr)
+            return 1
+        baseline = json.loads(baseline_path.read_text())
+        failures = perfsuite.check_regressions(payload, baseline)
+        if failures:
+            print("FAIL: performance regressions vs "
+                  f"{baseline_path}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed against {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

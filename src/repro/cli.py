@@ -47,6 +47,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.overlap:
         print("grayscott: --overlap requires --virtual-ranks", file=sys.stderr)
         return 2
+    if args.nic_contention:
+        print("grayscott: --nic-contention requires --virtual-ranks",
+              file=sys.stderr)
+        return 2
 
     profiler = None
     if args.trace:
@@ -113,6 +117,7 @@ def _run_virtual(args: argparse.Namespace, settings) -> int:
         settings,
         nranks=args.virtual_ranks,
         overlap=args.overlap,
+        nic_contention=args.nic_contention,
         tracer=tracer,
     )
     result = workflow.run()
@@ -332,6 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--overlap", action="store_true",
         help="with --virtual-ranks: model the nonblocking halo exchange "
              "and BP5 async drain (comm/I/O overlap compute)",
+    )
+    p_run.add_argument(
+        "--nic-contention", action="store_true",
+        help="with --virtual-ranks: halo traffic queues on the node's "
+             "4 shared Slingshot NICs instead of a private per-rank link",
     )
     p_run.add_argument(
         "--timings", action="store_true",

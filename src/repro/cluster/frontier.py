@@ -54,6 +54,10 @@ class NodeSpec:
     gpu_cpu_bytes_per_s: float = 36 * GB
     #: Injection bandwidth of the Slingshot NIC per node (4x 25 GB/s).
     nic_bytes_per_s: float = 100 * GB
+    #: Slingshot NICs per node (the 100 GB/s above is their aggregate);
+    #: 8 ranks share these 4 ports, the contention the virtual-SPMD
+    #: ``nic_contention`` mode models as a capacity-4 resource.
+    nics_per_node: int = 4
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,14 @@ exactly.
 from repro.gpu.memory import Device, DeviceArray
 from repro.gpu.kernel import Kernel, KernelContext, LaunchConfig
 from repro.gpu.backends import BackendProfile, HIP_BACKEND, JULIA_BACKEND, get_backend
-from repro.gpu.jit import JitCompiler, CompiledKernel, KernelTrace
+from repro.gpu.jit import (
+    JitCompiler,
+    CompiledKernel,
+    KernelTrace,
+    TraceMemo,
+    memoized_trace,
+    trace_memo,
+)
 from repro.gpu.cache import StencilTrafficModel, TraceCacheSim, TrafficEstimate
 from repro.gpu.perf import RooflineModel, LaunchCost
 from repro.gpu.rocprof import Profiler, ProfileEvent, RocprofReport
@@ -46,6 +53,9 @@ __all__ = [
     "JitCompiler",
     "CompiledKernel",
     "KernelTrace",
+    "TraceMemo",
+    "memoized_trace",
+    "trace_memo",
     "StencilTrafficModel",
     "TraceCacheSim",
     "TrafficEstimate",

@@ -165,6 +165,47 @@ class StencilTrafficModel:
         )
 
 
+#: plan entry for one access stream: (base_address, di, dj, dk, is_load)
+_PlanEntry = tuple[int, int, int, int, bool]
+
+
+class _VectorLruState:
+    """Dense ``(num_sets, associativity)`` mirror of the per-set LRU state.
+
+    ``tags[s, w]`` is the line cached in way ``w`` of set ``s`` (or -1),
+    ``age[s, w]`` the round of its last use. Exact LRU: a hit refreshes
+    the way's age; a miss replaces the minimum-age way. Empty ways carry
+    an age below any imported or live age, so ``argmin`` fills them
+    left-to-right first — the same fill/evict order as the per-set
+    ``OrderedDict`` in :meth:`TraceCacheSim.access`.
+    """
+
+    def __init__(self, sim: "TraceCacheSim"):
+        S, A = sim.num_sets, sim.associativity
+        self._empty_age = -(A + 1)
+        self.tags = np.full((S, A), -1, dtype=np.int64)
+        self.age = np.full((S, A), self._empty_age, dtype=np.int64)
+        self.round = 0
+        for s, resident in enumerate(sim._sets):
+            for w, line in enumerate(resident):  # iterates LRU -> MRU
+                self.tags[s, w] = line
+                self.age[s, w] = w - len(resident)  # strictly < round 0
+
+    def export(self, sim: "TraceCacheSim") -> None:
+        """Write the dense state back as LRU-ordered ``OrderedDict``s."""
+        order = np.argsort(self.age, axis=1, kind="stable")
+        for s in range(self.tags.shape[0]):
+            resident: OrderedDict = OrderedDict()
+            for w in order[s]:
+                if self.age[s, w] != self._empty_age:
+                    resident[int(self.tags[s, w])] = True
+            sim._sets[s] = resident
+
+
+class _VectorSweepUnsupported(Exception):
+    """Geometry/configuration outside the vector engine's envelope."""
+
+
 class TraceCacheSim:
     """Exact set-associative LRU cache over a stencil access stream.
 
@@ -173,6 +214,22 @@ class TraceCacheSim:
     access per load offset, then one per store. Counts line fills
     (misses) and hits; ``fetch_bytes`` is misses x line size for load
     accesses.
+
+    Two sweep engines produce identical counters:
+
+    - ``engine="scalar"`` — the original per-access Python loop,
+      retained as the bit-exact reference for differential testing;
+    - ``engine="vector"`` — a NumPy plane-batched replay (address
+      streams generated per z-plane, grouped per cache set, simulated
+      as lockstep LRU rounds over a dense tag matrix) that is two
+      orders of magnitude faster and exact: per-set access order is
+      preserved, and the only accesses it elides are provably hits
+      whose LRU refresh is a no-op.
+
+    ``engine="auto"`` (the default) picks the vector engine whenever
+    the configuration is inside its envelope and falls back to the
+    scalar loop otherwise. Both engines share the same cache state, so
+    sweeps and :meth:`access` calls can be freely interleaved.
     """
 
     def __init__(
@@ -187,6 +244,7 @@ class TraceCacheSim:
         self.associativity = associativity
         self.num_sets = capacity_bytes // (line_bytes * associativity)
         self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self._geom: tuple[int, int, int, int, int, int] | None = None
         self.hits = 0
         self.misses = 0
         self.load_misses = 0
@@ -210,6 +268,20 @@ class TraceCacheSim:
     def fetch_bytes(self) -> int:
         return self.load_misses * self.line_bytes
 
+    @staticmethod
+    def _validate_radius(shape: tuple[int, int, int], radius: int) -> None:
+        """Reject sweeps whose halo swallows the whole array.
+
+        ``radius >= ceil(min(shape) / 2)`` leaves no interior cell: the
+        triple loop would silently run zero iterations and report a
+        zero-traffic estimate that looks like a perfectly cached sweep.
+        """
+        if radius and 2 * radius >= min(shape):
+            raise GpuError(
+                f"stencil radius {radius} exceeds half the smallest array "
+                f"dimension (shape {shape}): the sweep has no interior cells"
+            )
+
     def sweep(
         self,
         shape: tuple[int, int, int],
@@ -219,6 +291,7 @@ class TraceCacheSim:
         base_address: int = 0,
         store: bool = True,
         store_base_address: int | None = None,
+        engine: str = "auto",
     ) -> None:
         """Replay one stencil sweep over an array of ``shape``.
 
@@ -226,6 +299,8 @@ class TraceCacheSim:
         (pass distinct, page-aligned bases). The sweep walks interior
         cells in Fortran storage order — i fastest — which is also the
         order wavefronts retire in the real kernel's x-fastest launch.
+        ``engine`` selects the vectorized or scalar replay (identical
+        counters; see the class docstring).
         """
         n0, n1, n2 = shape
         stride0 = itemsize
@@ -233,20 +308,16 @@ class TraceCacheSim:
         stride2 = n0 * n1 * itemsize
         offsets = sorted(load_offsets)
         radius = max(abs(c) for o in offsets for c in o) if offsets else 0
-        lo = radius
+        self._validate_radius(shape, radius)
         store_base = store_base_address if store_base_address is not None else (
             base_address + 2 * stride2 * n2
         )
-        for k in range(lo, n2 - lo):
-            for j in range(lo, n1 - lo):
-                for i in range(lo, n0 - lo):
-                    cell = i * stride0 + j * stride1 + k * stride2
-                    for di, dj, dk in offsets:
-                        addr = base_address + cell + di * stride0 + dj * stride1 + dk * stride2
-                        self.access(addr // self.line_bytes, is_load=True)
-                    if store:
-                        self.access((store_base + cell) // self.line_bytes, is_load=False)
-
+        plan: list[_PlanEntry] = [
+            (base_address, di, dj, dk, True) for di, dj, dk in offsets
+        ]
+        if store:
+            plan.append((store_base, 0, 0, 0, False))
+        self._dispatch_sweep(shape, itemsize, plan, radius, engine)
 
     def multi_sweep(
         self,
@@ -254,6 +325,8 @@ class TraceCacheSim:
         itemsize: int,
         loads_by_array: dict[str, set[tuple[int, ...]]],
         stores_by_array: dict[str, set[tuple[int, ...]]],
+        *,
+        engine: str = "auto",
     ) -> TrafficEstimate:
         """Exact counters for one interleaved multi-array stencil sweep.
 
@@ -261,12 +334,10 @@ class TraceCacheSim:
         arrays' loads then all stores, arrays living at page-separated
         base addresses in the same cache. Returns a
         :class:`TrafficEstimate` directly comparable with
-        :meth:`StencilTrafficModel.estimate`.
+        :meth:`StencilTrafficModel.estimate`. ``engine`` selects the
+        vectorized or scalar replay (identical counters).
         """
         n0, n1, n2 = shape
-        stride0 = itemsize
-        stride1 = n0 * itemsize
-        stride2 = n0 * n1 * itemsize
         array_bytes = n0 * n1 * n2 * itemsize
         # page-align each array's base well apart
         span = -(-array_bytes // 4096) * 4096 + 4096
@@ -276,43 +347,26 @@ class TraceCacheSim:
         ]:
             bases[name] = len(bases) * span
 
-        load_plan = [
-            (bases[name], sorted(offsets))
-            for name, offsets in loads_by_array.items()
-        ]
-        store_plan = [
-            (bases[name], sorted(offsets))
-            for name, offsets in stores_by_array.items()
-        ]
+        plan: list[_PlanEntry] = []
+        for name, offsets in loads_by_array.items():
+            for di, dj, dk in sorted(offsets):
+                plan.append((bases[name], di, dj, dk, True))
+        n_load_accesses = len(plan)
+        for name, offsets in stores_by_array.items():
+            for di, dj, dk in sorted(offsets):
+                plan.append((bases[name], di, dj, dk, False))
         radius = max(
-            (abs(c) for _, offs in load_plan + store_plan for o in offs for c in o),
+            (abs(d) for _, di, dj, dk, _ in plan for d in (di, dj, dk)),
             default=0,
         )
-        requests = 0
-        write_accesses = 0
+        self._validate_radius(shape, radius)
+        ncells = max(0, n0 - 2 * radius) * max(0, n1 - 2 * radius) * max(
+            0, n2 - 2 * radius
+        )
+        requests = ncells * len(plan)
+        write_accesses = ncells * (len(plan) - n_load_accesses)
         fetch_misses_before = self.load_misses
-        lo = radius
-        for k in range(lo, n2 - lo):
-            for j in range(lo, n1 - lo):
-                for i in range(lo, n0 - lo):
-                    cell = i * stride0 + j * stride1 + k * stride2
-                    for base, offsets in load_plan:
-                        for di, dj, dk in offsets:
-                            addr = (
-                                base + cell
-                                + di * stride0 + dj * stride1 + dk * stride2
-                            )
-                            self.access(addr // self.line_bytes, is_load=True)
-                            requests += 1
-                    for base, offsets in store_plan:
-                        for di, dj, dk in offsets:
-                            addr = (
-                                base + cell
-                                + di * stride0 + dj * stride1 + dk * stride2
-                            )
-                            self.access(addr // self.line_bytes, is_load=False)
-                            requests += 1
-                            write_accesses += 1
+        self._dispatch_sweep(shape, itemsize, plan, radius, engine)
         fetch = (self.load_misses - fetch_misses_before) * self.line_bytes
         return TrafficEstimate(
             fetch_bytes=float(fetch),
@@ -322,6 +376,290 @@ class TraceCacheSim:
             tcc_misses=float(self.misses),
             passes_by_array={},
         )
+
+    # ------------------------------------------------------------------
+    # engine dispatch
+
+    def _dispatch_sweep(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        plan: list[_PlanEntry],
+        radius: int,
+        engine: str,
+    ) -> None:
+        if engine not in ("auto", "vector", "scalar"):
+            raise GpuError(f"unknown sweep engine {engine!r}")
+        if engine == "scalar":
+            self._sweep_scalar(shape, itemsize, plan, radius)
+            return
+        try:
+            self._sweep_vector(shape, itemsize, plan, radius)
+        except _VectorSweepUnsupported:
+            if engine == "vector":
+                raise GpuError(
+                    "sweep geometry is outside the vector engine envelope "
+                    "(negative addresses or oversized set index); use "
+                    "engine='scalar'"
+                ) from None
+            self._sweep_scalar(shape, itemsize, plan, radius)
+
+    def _sweep_scalar(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        plan: list[_PlanEntry],
+        radius: int,
+    ) -> None:
+        """The original per-access triple loop (bit-exact reference)."""
+        n0, n1, n2 = shape
+        stride0 = itemsize
+        stride1 = n0 * itemsize
+        stride2 = n0 * n1 * itemsize
+        lo = radius
+        for k in range(lo, n2 - lo):
+            for j in range(lo, n1 - lo):
+                for i in range(lo, n0 - lo):
+                    cell = i * stride0 + j * stride1 + k * stride2
+                    for base, di, dj, dk, is_load in plan:
+                        addr = (
+                            base + cell
+                            + di * stride0 + dj * stride1 + dk * stride2
+                        )
+                        self.access(addr // self.line_bytes, is_load=is_load)
+
+    def _sweep_vector(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        plan: list[_PlanEntry],
+        radius: int,
+    ) -> None:
+        """Plane-batched exact replay; counters identical to the scalar loop.
+
+        Per z-plane: (1) generate each plan entry's line stream — in the
+        common ``itemsize < line_bytes`` regime only the first access of
+        each run of same-line accesses is materialized, the rest are
+        provably hits (guarded by :func:`_run_skip_is_exact`); (2) sort
+        accesses by ``(cache set, stream position)`` so each set's
+        sub-stream keeps its temporal order; (3) merge consecutive
+        same-line accesses within a set (always-exact guaranteed hits);
+        (4) replay round ``r`` = every set's ``r``-th access in lockstep
+        against the dense LRU tag/age matrix.
+        """
+        n0, n1, n2 = shape
+        s0 = itemsize
+        s1 = n0 * itemsize
+        s2 = n0 * n1 * itemsize
+        LB = self.line_bytes
+        S = self.num_sets
+        lo = radius
+        ni, nj, nk = n0 - 2 * lo, n1 - 2 * lo, n2 - 2 * lo
+        E = len(plan)
+        if E == 0 or ni <= 0 or nj <= 0 or nk <= 0:
+            return
+        if S >= 1 << 30 or E * nj * ni >= 1 << 31:
+            raise _VectorSweepUnsupported
+        base_e = np.array(
+            [
+                b + (lo + di) * s0 + (lo + dj) * s1 + (lo + dk) * s2
+                for b, di, dj, dk, _ in plan
+            ],
+            dtype=np.int64,
+        )
+        if int(base_e.min()) < 0:
+            raise _VectorSweepUnsupported
+        is_load_e = np.array([is_load for *_, is_load in plan], dtype=bool)
+        compress = s0 < LB and _run_skip_is_exact(base_e, s0, LB, S)
+
+        # seq bit layout (low 32 bits of the pack): plane | row | cell
+        # | entry, each field padded to a power of two so the replay
+        # recovers coordinates with shifts and masks instead of int64
+        # division chains
+        be = max(1, (E - 1).bit_length())
+        bt = max(1, (ni - 1).bit_length())
+        bu = max(1, (nj - 1).bit_length())
+        if be + bt + bu > 30:
+            raise _VectorSweepUnsupported
+        planes_per_chunk = 1 << (31 - be - bt - bu)
+        self._geom = (s0, s1, s2, be, bt, bu)
+
+        state = _VectorLruState(self)
+        row_u = np.arange(nj, dtype=np.int64)
+        u_col = (row_u << (bt + be))[:, None]
+        t_full = np.arange(ni, dtype=np.int64)
+        set_mask_ok = S & (S - 1) == 0
+        lb_shift = LB.bit_length() - 1 if LB & (LB - 1) == 0 else None
+        extra_hits = 0
+
+        # Accumulate per-plane compressed access streams into chunks of
+        # bounded size, then replay each chunk grouped by set. Grouping
+        # over many planes at once keeps the lockstep rounds close to
+        # num_sets wide (per-plane set skew averages out), which is
+        # where the dense LRU update is efficient. Splitting into
+        # chunks never changes counters: per-set order is preserved
+        # regardless of where the stream is cut.
+        chunk_target = 1_000_000
+        pending: list[np.ndarray] = []
+        pending_n = 0
+        k_base = 0  # chunk-relative plane numbering keeps seq in 31 bits
+
+        def flush(k_next: int) -> None:
+            nonlocal pending, pending_n, k_base
+            if pending:
+                self._replay_grouped_chunk(
+                    np.concatenate(pending), base_e, is_load_e, k_base, state
+                )
+            pending = []
+            pending_n = 0
+            k_base = k_next
+
+        for k in range(nk):
+            if k - k_base >= planes_per_chunk:
+                flush(k)
+            for e in range(E):
+                c0 = base_e[e] + k * s2 + row_u * s1  # (nj,) row base bytes
+                if compress:
+                    l0 = c0 // LB
+                    n_bounds = (c0 + (ni - 1) * s0) // LB - l0  # per row
+                    m = np.arange(int(n_bounds.max()) + 1, dtype=np.int64)
+                    lines = l0[:, None] + m[None, :]
+                    # cell index of the m-th line's first touch (ceil div)
+                    t = -((c0[:, None] - lines * LB) // s0)
+                    t[:, 0] = 0
+                    valid = m[None, :] <= n_bounds[:, None]
+                    extra_hits += nj * ni - int(valid.sum())
+                else:
+                    if lb_shift is not None:
+                        lines = (c0[:, None] + t_full[None, :] * s0) >> lb_shift
+                    else:
+                        lines = (c0[:, None] + t_full[None, :] * s0) // LB
+                    t = t_full[None, :]
+                    valid = None
+                sets = lines & (S - 1) if set_mask_ok else lines % S
+                seq = (
+                    ((k - k_base) << (bu + bt + be)) | u_col | (t << be) | e
+                )
+                pack = (sets << 32) | seq
+                pending.append(pack[valid] if valid is not None else pack.ravel())
+                pending_n += pending[-1].size
+            if pending_n >= chunk_target:
+                flush(k + 1)
+        flush(nk)
+        state.export(self)
+        self.hits += extra_hits
+        self._geom = None
+
+    def _replay_grouped_chunk(
+        self,
+        pk: np.ndarray,
+        base_e: np.ndarray,
+        is_load_e: np.ndarray,
+        k_base: int,
+        state: _VectorLruState,
+    ) -> None:
+        """Sort one chunk's packed accesses by (set, position) and replay.
+
+        Round ``r`` applies every set's ``r``-th access in lockstep to
+        the dense tag/age matrices; only miss rows need an LRU-victim
+        ``argmin``. Counter updates land directly on ``self``.
+        """
+        if pk.size == 0:
+            return
+        s0, s1, s2, be, bt, bu = self._geom
+        LB = self.line_bytes
+        S = self.num_sets
+        pk.sort(kind="quicksort")  # by (set, stream position)
+        set_g = pk >> 32
+        eidx = pk & ((1 << be) - 1)
+        tg = (pk >> be) & ((1 << bt) - 1)
+        ug = (pk >> (be + bt)) & ((1 << bu) - 1)
+        kk = (pk & 0xFFFFFFFF) >> (be + bt + bu)
+        addr = np.take(base_e + k_base * s2, eidx)
+        addr += kk * s2
+        addr += ug * s1
+        addr += tg * s0
+        if LB & (LB - 1) == 0:
+            lines_g = addr >> (LB.bit_length() - 1)
+        else:
+            lines_g = addr // LB
+        isload_g = np.take(is_load_e, eidx)
+        dup = np.empty(lines_g.shape, dtype=bool)
+        dup[0] = False
+        np.logical_and(
+            set_g[1:] == set_g[:-1], lines_g[1:] == lines_g[:-1], out=dup[1:]
+        )
+        ndup = int(dup.sum())
+        if ndup:
+            keep = ~dup
+            set_g = set_g[keep]
+            lines_g = lines_g[keep]
+            isload_g = isload_g[keep]
+            self.hits += ndup
+        counts = np.bincount(set_g, minlength=S)
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        # sets ordered by stream length, longest first: round r is one
+        # lockstep access for each of the first m_r of them
+        order = np.argsort(counts, kind="stable")[::-1]
+        neg_desc = -counts[order]  # ascending; #(counts > r) by bisect
+        starts_desc = starts[order]
+        tags, age = state.tags, state.age
+        A = tags.shape[1]
+        sub = np.empty((S, A), dtype=np.int64)
+        matched = np.empty((S, A), dtype=bool)
+        flat_base = np.arange(S, dtype=np.int64) * A
+        hits = misses = load_misses = 0
+        for r in range(int(counts.max())):
+            m_r = int(np.searchsorted(neg_desc, -r, side="left"))
+            rows = order[:m_r]
+            pos = starts_desc[:m_r] + r
+            lr = lines_g[pos]
+            np.take(tags, rows, axis=0, out=sub[:m_r])
+            np.equal(sub[:m_r], lr[:, None], out=matched[:m_r])
+            way = matched[:m_r].argmax(axis=1)
+            hit = matched.reshape(-1)[flat_base[:m_r] + way]
+            nh = int(hit.sum())
+            hits += nh
+            age[rows[hit], way[hit]] = state.round
+            if m_r - nh:
+                miss = ~hit
+                mrows = rows[miss]
+                victim = age[mrows].argmin(axis=1)
+                tags[mrows, victim] = lr[miss]
+                age[mrows, victim] = state.round
+                misses += m_r - nh
+                load_misses += int(isload_g[pos[miss]].sum())
+            state.round += 1
+        self.hits += hits
+        self.misses += misses
+        self.load_misses += load_misses
+
+
+def _run_skip_is_exact(
+    base_e: np.ndarray, s0: int, line_bytes: int, num_sets: int
+) -> bool:
+    """Whether run-length skipping of same-line accesses is provably exact.
+
+    A skipped access (same line as the same entry's access one cell
+    earlier) is a guaranteed hit whose MRU refresh is a no-op **unless**
+    some access interleaved between the two maps to the same set but a
+    different line — then the skip would lose a recency update. The
+    interleaved accesses sit at most one cell away, so their byte
+    distance to the skipped access is ``base_e[b] - base_e[a] + w*s0``
+    for ``w`` in {-1, 0, 1}; a distance ``d`` can only produce line
+    deltas ``d // line_bytes`` or ``d // line_bytes + 1``. The skip is
+    exact when no such delta is a nonzero multiple of ``num_sets``.
+    """
+    for a in range(len(base_e)):
+        for b in range(len(base_e)):
+            if a == b:
+                continue
+            for w in (-1, 0, 1):
+                d = int(base_e[b] - base_e[a]) + w * s0
+                for delta in (d // line_bytes, d // line_bytes + 1):
+                    if delta != 0 and delta % num_sets == 0:
+                        return False
+    return True
 
 
 def seven_point_offsets() -> set[tuple[int, int, int]]:

@@ -207,7 +207,7 @@ class Device:
         config = LaunchConfig(grid=grid, workgroup=workgroup)
         config.validate(self.spec)
 
-        compiled, compile_seconds = self.jit.compile(kernel, args)
+        compiled, compile_seconds = self.jit.compile(kernel, args, config)
         if self.aot:
             compile_seconds = 0.0
         tracer = observe.active()

@@ -24,6 +24,7 @@ from repro.gpu.cache import (
     seven_point_offsets,
 )
 from repro.gpu.perf import LaunchCost
+from repro.sched import UsePlan, use
 from repro.util.errors import GpuError
 
 #: Kernel variants evaluated in Tables 2-3.
@@ -135,6 +136,7 @@ class VirtualGcd:
         variant: str = "application",
         machine=None,
         spec: GcdSpec | None = None,
+        launch_cost: LaunchCost | None = None,
     ):
         from repro.cluster.frontier import FRONTIER
 
@@ -145,8 +147,12 @@ class VirtualGcd:
         self.variant = variant
         self.machine = machine or FRONTIER
         self.spec = spec or GcdSpec()
-        self.launch_cost = grayscott_launch_cost(
-            shape, self.backend, variant=variant, spec=self.spec
+        # the cost is identical for every GCD of a weak-scaled job, so
+        # callers creating thousands of these pass one precomputed cost
+        self.launch_cost = launch_cost if launch_cost is not None else (
+            grayscott_launch_cost(
+                shape, self.backend, variant=variant, spec=self.spec
+            )
         )
         self.compute = engine.resource(
             f"gcd{index}", lane=(f"gcd{index}", "kernel")
@@ -155,11 +161,12 @@ class VirtualGcd:
             f"gcd{index}.copy", lane=(f"gcd{index}", "copy")
         )
         self._jitted = False
+        # one plan per (scale, label): a rank launches the same kernel
+        # thousands of times, so reuse the frozen command triple
+        self._kernel_plans: dict[tuple, UsePlan] = {}
 
     def jit(self):
         """One-time JIT compile; subsequent calls are free (cached)."""
-        from repro.sched import use
-
         if self._jitted:
             return
         self._jitted = True
@@ -172,18 +179,18 @@ class VirtualGcd:
 
     def kernel(self, scale: float = 1.0, *, label: str | None = None):
         """One stencil launch on this GCD (``scale`` stretches jitter)."""
-        from repro.sched import use
-
-        yield from use(
-            self.compute, self.launch_cost.seconds * scale,
-            label=label or self.launch_cost.kernel_name, cat="gpu",
-            args={"gcd": self.index},
-        )
+        plan = self._kernel_plans.get((scale, label))
+        if plan is None:
+            plan = UsePlan(
+                self.compute, self.launch_cost.seconds * scale,
+                label=label or self.launch_cost.kernel_name, cat="gpu",
+                args={"gcd": self.index},
+            )
+            self._kernel_plans[(scale, label)] = plan
+        yield from plan.use()
 
     def copy(self, nbytes: float, *, kind: str = "d2h"):
         """A D2H/H2D staging copy across the GPU-CPU Infinity Fabric."""
-        from repro.sched import use
-
         if kind not in ("d2h", "h2d"):
             raise GpuError(f"copy kind must be d2h|h2d, got {kind!r}")
         seconds = nbytes / self.machine.node.gpu_cpu_bytes_per_s

@@ -40,7 +40,7 @@ from repro.lint.diagnostics import (
     Severity,
     check_rule_ids,
 )
-from repro.lint.kernels import analyze_kernel_trace, lint_kernel
+from repro.lint.kernels import analyze_kernel_trace, check_occupancy, lint_kernel
 from repro.lint.mpiplan import (
     CommPlan,
     PlanOp,
@@ -63,6 +63,7 @@ __all__ = [
     "WriterScript",
     "analyze_kernel_trace",
     "cart_shift",
+    "check_occupancy",
     "check_plan",
     "check_rule_ids",
     "check_writer_script",

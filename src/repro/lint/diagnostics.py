@@ -100,6 +100,11 @@ KRN_RAND = _rule(
     "KRN-RAND", "gpu", Severity.INFO,
     "device RNG call in the kernel body (costs LDS/scratch on AMDGPU, Table 3)",
 )
+GPU_OCCUPANCY = _rule(
+    "GPU-OCCUPANCY", "gpu", Severity.INFO,
+    "backend codegen leaves CU wavefront slots empty (memory-bound kernels "
+    "lose bandwidth below ~75% occupancy)",
+)
 
 # -- MPI plan rules (repro.lint.mpiplan) ------------------------------------
 MPI_DEADLOCK = _rule(

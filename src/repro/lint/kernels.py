@@ -78,12 +78,61 @@ def analyze_kernel_trace(
 
 def lint_kernel(kernel: "Kernel", args, *, ghost: int = 1,
                 report: LintReport | None = None) -> LintReport:
-    """Trace ``kernel`` over ``args`` and analyze the trace."""
-    from repro.gpu.jit import trace_kernel
+    """Trace ``kernel`` over ``args`` and analyze the trace.
+
+    Tracing goes through the process-wide launch-trace memo, so linting
+    a kernel the workflow already launched (or re-linting in a loop)
+    costs one dictionary lookup, not a re-trace.
+    """
+    from repro.gpu.jit import memoized_trace
 
     return analyze_kernel_trace(
-        trace_kernel(kernel, args), ghost=ghost, report=report
+        memoized_trace(kernel, args), ghost=ghost, report=report
     )
+
+
+#: resident-wave fraction below which a memory-bound kernel can no
+#: longer cover HBM latency (the knee of the CDNA2 bandwidth-vs-
+#: occupancy curve; Julia's 50% sits well under it, matching Table 2)
+OCCUPANCY_THRESHOLD = 0.75
+
+
+def check_occupancy(
+    backend, *, report: LintReport | None = None, limits=None
+) -> LintReport:
+    """GPU-OCCUPANCY: flag codegen that under-fills the CU's wave slots.
+
+    Uses :func:`repro.gpu.occupancy.occupancy_for` to turn the
+    backend's Table 3 codegen facts (workgroup size, LDS bytes) into a
+    resident-wave count; occupancy below :data:`OCCUPANCY_THRESHOLD`
+    is reported (informational — the paper's AMDGPU.jl codegen
+    triggers it by design, which is exactly the Fig. 7 story).
+    """
+    from repro.gpu.backends import get_backend
+    from repro.gpu.occupancy import occupancy_for
+
+    report = report if report is not None else LintReport()
+    backend = get_backend(backend)
+    result = occupancy_for(backend, limits)
+    where = f"backend:{backend.name}"
+    report.record_fact(
+        f"{where}.occupancy_percent", round(result.occupancy * 100, 1)
+    )
+    if result.occupancy < OCCUPANCY_THRESHOLD:
+        report.add(
+            D.GPU_OCCUPANCY, where,
+            f"{backend.name} codegen holds {result.resident_waves}/"
+            f"{result.max_waves} resident waves "
+            f"({result.occupancy * 100:.0f}% occupancy), limited by "
+            f"{result.limiter}: {backend.workgroup_size}-workitem "
+            f"workgroups with {backend.lds_bytes} B LDS allow "
+            f"{result.resident_workgroups} resident workgroup(s) per CU",
+            hint="shrink the workgroup or its LDS footprint so more "
+                 "workgroups fit per CU; memory-bound kernels need "
+                 f"~{OCCUPANCY_THRESHOLD * 100:.0f}%+ occupancy to "
+                 "cover HBM latency",
+        )
+    return report
 
 
 # -- bounds / halo ----------------------------------------------------------

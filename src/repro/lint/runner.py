@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.lint.adiosproto import check_writer_script, writer_script_for
 from repro.lint.diagnostics import LintReport, check_rule_ids
-from repro.lint.kernels import lint_kernel
+from repro.lint.kernels import check_occupancy, lint_kernel
 from repro.lint.mpiplan import check_plan, halo_exchange_plan
 from repro.observe import trace as observe
 
@@ -64,6 +64,10 @@ def lint_workflow(settings, *, rules=None) -> LintReport:
 
     for kernel, args in _builtin_kernel_args(settings):
         lint_kernel(kernel, args, ghost=1, report=report)
+
+    if settings.backend != "cpu":
+        # a GPU backend was selected: check its codegen's CU occupancy
+        check_occupancy(settings.backend, report=report)
 
     nranks = max(int(settings.ranks), 1)
     if nranks > 1:

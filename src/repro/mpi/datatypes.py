@@ -89,6 +89,17 @@ class Datatype:
             )
         return self._offsets
 
+    def _strided_spec(self) -> tuple[int, int, int] | None:
+        """(count, blocklength, stride) when this type is a regular
+        strided layout over an elementary base, else ``None``.
+
+        A non-None spec lets :func:`pack`/:func:`unpack` copy through a
+        NumPy strided view instead of a fancy-index gather/scatter —
+        the hot path for every ghost face. Composite/irregular types
+        return ``None`` and take the general gather path.
+        """
+        return None
+
 
 class BaseDatatype(Datatype):
     """A named elementary type (MPI_DOUBLE and friends)."""
@@ -100,6 +111,9 @@ class BaseDatatype(Datatype):
 
     def _build_offsets(self) -> np.ndarray:
         return np.zeros(1, dtype=np.int64)
+
+    def _strided_spec(self) -> tuple[int, int, int] | None:
+        return (1, 1, 1)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"BaseDatatype({self.name})"
@@ -127,6 +141,11 @@ class ContiguousDatatype(Datatype):
         return (
             np.arange(self.count, dtype=np.int64)[:, None] * extent + inner[None, :]
         ).reshape(-1)
+
+    def _strided_spec(self) -> tuple[int, int, int] | None:
+        if self.inner.size_elements == 1 and self.inner.extent_elements == 1:
+            return (1, self.count, self.count)
+        return None
 
 
 class VectorDatatype(Datatype):
@@ -164,17 +183,93 @@ class VectorDatatype(Datatype):
             (blocks + elems) * extent + inner[None, None, :]
         ).reshape(-1)
 
+    def _strided_spec(self) -> tuple[int, int, int] | None:
+        if self.inner.size_elements == 1 and self.inner.extent_elements == 1:
+            return (self.count, self.blocklength, self.stride)
+        return None
 
-def pack(
-    arr: np.ndarray, datatype: Datatype, *, offset_elements: int = 0
-) -> np.ndarray:
-    """Gather the datatype's elements from ``arr`` into a wire buffer."""
-    flat = flat_view(arr)
+
+_PACK_MODES = ("auto", "strided", "gather")
+
+
+def _strided_window(
+    flat: np.ndarray, datatype: Datatype, offset_elements: int
+) -> np.ndarray | None:
+    """A (count, blocklength) strided view over the type's elements.
+
+    Returns ``None`` when the type has no regular strided layout (the
+    caller falls back to the gather path). Bounds and commit checks
+    raise the same :class:`DatatypeError` messages as the gather path,
+    so the two paths are behaviourally interchangeable.
+    """
+    spec = datatype._strided_spec()
+    if spec is None:
+        return None
+    datatype.element_offsets()  # commit check (raises if freed/uncommitted)
+    count, blocklength, stride = spec
+    if count == 0 or blocklength == 0:
+        return flat[:0].reshape(0, 1)
+    first = offset_elements
+    last = offset_elements + (count - 1) * stride + blocklength - 1
+    if first < 0 or last >= flat.size:
+        raise DatatypeError(
+            f"datatype (offset {offset_elements}) reaches outside the buffer "
+            f"of {flat.size} elements"
+        )
+    itemsize = flat.itemsize
+    return np.lib.stride_tricks.as_strided(
+        flat[first:],
+        shape=(count, blocklength),
+        strides=(stride * itemsize, itemsize),
+    )
+
+
+def _check_base(flat: np.ndarray, datatype: Datatype) -> None:
     if flat.dtype != datatype.base:
         raise DatatypeError(
             f"buffer dtype {flat.dtype} does not match datatype base "
             f"{datatype.base}"
         )
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in _PACK_MODES:
+        raise DatatypeError(
+            f"pack/unpack mode must be one of {_PACK_MODES}, got {mode!r}"
+        )
+
+
+def pack(
+    arr: np.ndarray,
+    datatype: Datatype,
+    *,
+    offset_elements: int = 0,
+    mode: str = "auto",
+) -> np.ndarray:
+    """Gather the datatype's elements from ``arr`` into a wire buffer.
+
+    ``mode`` selects the implementation: ``"auto"`` (default) copies
+    regular vector/contiguous types through a NumPy strided view — the
+    ghost-face hot path — and falls back to the general fancy-index
+    gather otherwise; ``"strided"`` and ``"gather"`` force one path
+    (``"strided"`` raises for types with no regular layout). Both
+    produce bit-identical wire buffers (asserted by the property
+    suite).
+    """
+    _check_mode(mode)
+    flat = flat_view(arr)
+    _check_base(flat, datatype)
+    if mode != "gather":
+        window = _strided_window(flat, datatype, offset_elements)
+        if window is not None:
+            out = np.empty(window.size, dtype=flat.dtype)
+            out.reshape(window.shape)[...] = window
+            return out
+        if mode == "strided":
+            raise DatatypeError(
+                f"{type(datatype).__name__} has no regular strided layout; "
+                "use mode='auto' or 'gather'"
+            )
     offsets = datatype.element_offsets() + offset_elements
     if offsets.size and (offsets.min() < 0 or offsets.max() >= flat.size):
         raise DatatypeError(
@@ -190,15 +285,32 @@ def unpack(
     wire: np.ndarray,
     *,
     offset_elements: int = 0,
+    mode: str = "auto",
 ) -> None:
-    """Scatter a wire buffer into ``arr`` through the datatype."""
+    """Scatter a wire buffer into ``arr`` through the datatype.
+
+    ``mode`` works as in :func:`pack`; the strided path scatters with
+    one strided assignment instead of a fancy-index store.
+    """
+    _check_mode(mode)
     flat = flat_view(arr)
-    if flat.dtype != datatype.base:
-        raise DatatypeError(
-            f"buffer dtype {flat.dtype} does not match datatype base "
-            f"{datatype.base}"
-        )
+    _check_base(flat, datatype)
     wire = np.asarray(wire)
+    if mode != "gather":
+        window = _strided_window(flat, datatype, offset_elements)
+        if window is not None:
+            if wire.size != window.size:
+                raise DatatypeError(
+                    f"wire buffer has {wire.size} elements, datatype "
+                    f"describes {window.size}"
+                )
+            window[...] = wire.reshape(window.shape)
+            return
+        if mode == "strided":
+            raise DatatypeError(
+                f"{type(datatype).__name__} has no regular strided layout; "
+                "use mode='auto' or 'gather'"
+            )
     offsets = datatype.element_offsets() + offset_elements
     if wire.size != offsets.size:
         raise DatatypeError(

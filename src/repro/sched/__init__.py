@@ -17,6 +17,7 @@ from repro.sched.engine import (
     Release,
     Resource,
     Signal,
+    UsePlan,
     Wait,
     delay,
     series,
@@ -42,6 +43,7 @@ __all__ = [
     "Release",
     "Resource",
     "Signal",
+    "UsePlan",
     "Wait",
     "delay",
     "series",

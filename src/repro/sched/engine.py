@@ -29,10 +29,12 @@ guarantees.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import math
 from collections import deque
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Callable, Generator, Iterable
 
 from repro.observe import trace as observe
@@ -92,6 +94,10 @@ class Join:
 
 _COMMANDS = (Delay, Acquire, Release, Wait, Join)
 
+#: queue-entry sentinel: "call fn with no argument" (distinct from None,
+#: which is a legitimate resume value)
+_NO_ARG = object()
+
 
 # ---------------------------------------------------------------------------
 # synchronization primitives
@@ -100,6 +106,8 @@ _COMMANDS = (Delay, Acquire, Release, Wait, Join)
 
 class Signal:
     """A one-shot broadcast event in virtual time."""
+
+    __slots__ = ("engine", "name", "fired", "value", "_waiters")
 
     def __init__(self, engine: "Engine", name: str = "signal"):
         self.engine = engine
@@ -119,7 +127,7 @@ class Signal:
 
     def _wait(self, process: "Process") -> None:
         if self.fired:
-            self.engine._resume(process, self.value)
+            self.engine._resume_fast(process, self.value)
         else:
             self._waiters.append(process)
 
@@ -177,6 +185,10 @@ class ResourceStats:
 class Resource:
     """A capacity-limited facility (GCD, link, OSS) with FIFO queueing."""
 
+    __slots__ = (
+        "engine", "name", "capacity", "available", "lane", "stats", "_waiters"
+    )
+
     def __init__(
         self,
         engine: "Engine",
@@ -209,7 +221,7 @@ class Resource:
         if self.available >= tokens and not self._waiters:
             self.available -= tokens
             self.stats.acquires += 1
-            self.engine._resume(process)
+            self.engine._resume_fast(process)
         else:
             self.stats.waits += 1
             self._waiters.append((process, tokens, self.engine.now))
@@ -235,7 +247,19 @@ class Resource:
 
 
 class Process:
-    """One cooperative virtual process driving a generator."""
+    """One cooperative virtual process driving a generator.
+
+    The per-event bookkeeping is deliberately allocation-free: the
+    blocked-on marker stores the yielded command itself (formatted
+    lazily by :meth:`describe`), and the one in-flight delay reuses a
+    slot on the process frame instead of a fresh closure — a process
+    can only ever have a single outstanding delay.
+    """
+
+    __slots__ = (
+        "engine", "name", "lane", "result", "started_at", "finished_at",
+        "_done", "_gen", "_blocked_on", "_delay_start",
+    )
 
     def __init__(
         self,
@@ -251,19 +275,52 @@ class Process:
         self.result = None
         self.started_at: float | None = None
         self.finished_at: float | None = None
-        self.done = Signal(engine, f"{name}.done")
+        self._done: Signal | None = None
         self._gen = gen
-        self._blocked_on: str | None = "start"
+        self._blocked_on = "start"
+        self._delay_start = 0.0
 
     @property
     def finished(self) -> bool:
         return self.finished_at is not None
 
+    @property
+    def done(self) -> Signal:
+        """The completion signal, created on first use.
+
+        Most processes are never joined (a 64k-rank job spawns one per
+        overlap-mode halo), so the signal — and its f-string name — are
+        built lazily.
+        """
+        signal = self._done
+        if signal is None:
+            signal = Signal(self.engine, f"{self.name}.done")
+            if self.finished:
+                signal.fired = True
+                signal.value = self.result
+            self._done = signal
+        return signal
+
+    def _blocked_desc(self) -> str | None:
+        blocked = self._blocked_on
+        if blocked is None or isinstance(blocked, str):
+            return blocked
+        cls = blocked.__class__
+        if cls is Delay:
+            return f"delay({blocked.label or blocked.seconds})"
+        if cls is Acquire:
+            return f"acquire({blocked.resource.name})"
+        if cls is Wait:
+            return f"wait({blocked.signal.name})"
+        if cls is Join:
+            return f"join({blocked.process.name})"
+        return repr(blocked)
+
     def describe(self) -> str:
         state = (
             "finished"
             if self.finished
-            else f"blocked on {self._blocked_on or 'nothing'}"
+            else f"blocked on {self._blocked_desc() or 'nothing'}"
         )
         return f"{self.name}: {state}"
 
@@ -277,11 +334,53 @@ class Process:
         except StopIteration as stop:
             self.result = stop.value
             self.finished_at = self.engine.now
-            self.done.fire(self.result)
+            # release the generator frame: a 64k-rank overlap run spawns
+            # hundreds of thousands of short-lived processes, and keeping
+            # their frames alive is what made cyclic GC dominate
+            self._gen = None
+            if self._done is not None:
+                self._done.fire(self.result)
             return
         self._dispatch(command)
 
     def _dispatch(self, command) -> None:
+        # exact-class dispatch: the five command dataclasses are final
+        # in practice, and `is` beats isinstance chains on the hot path
+        engine = self.engine
+        cls = command.__class__
+        if cls is Delay:
+            seconds = command.seconds
+            # `0 <= s < inf` is False for NaN too
+            if not 0.0 <= seconds < math.inf:
+                raise SchedError(
+                    f"process {self.name!r} yielded invalid delay "
+                    f"{seconds!r}"
+                )
+            self._blocked_on = command
+            self._delay_start = engine.clock.now
+            engine.schedule(seconds, self._after_delay, command)
+        elif cls is Acquire:
+            self._blocked_on = command
+            command.resource._acquire(self, command.tokens)
+        elif cls is Release:
+            command.resource._release(command.tokens)
+            engine._resume_fast(self)
+        elif cls is Wait:
+            self._blocked_on = command
+            command.signal._wait(self)
+        elif cls is Join:
+            self._blocked_on = command
+            command.process.done._wait(self)
+        elif isinstance(command, _COMMANDS):  # a subclassed command
+            self._dispatch_slow(command)
+        else:
+            raise SchedError(
+                f"process {self.name!r} yielded {command!r}; expected one "
+                f"of {[c.__name__ for c in _COMMANDS]}"
+            )
+
+    def _dispatch_slow(self, command) -> None:
+        """isinstance-based dispatch for subclassed commands (rare)."""
         engine = self.engine
         if isinstance(command, Delay):
             if not math.isfinite(command.seconds) or command.seconds < 0:
@@ -289,41 +388,34 @@ class Process:
                     f"process {self.name!r} yielded invalid delay "
                     f"{command.seconds!r}"
                 )
-            self._blocked_on = f"delay({command.label or command.seconds})"
-            start = engine.now
-            engine.schedule(
-                command.seconds, lambda: self._after_delay(command, start)
-            )
+            self._blocked_on = command
+            self._delay_start = engine.clock.now
+            engine.schedule(command.seconds, self._after_delay, command)
         elif isinstance(command, Acquire):
-            self._blocked_on = f"acquire({command.resource.name})"
+            self._blocked_on = command
             command.resource._acquire(self, command.tokens)
         elif isinstance(command, Release):
             command.resource._release(command.tokens)
-            engine._resume(self)
+            engine._resume_fast(self)
         elif isinstance(command, Wait):
-            self._blocked_on = f"wait({command.signal.name})"
+            self._blocked_on = command
             command.signal._wait(self)
-        elif isinstance(command, Join):
-            self._blocked_on = f"join({command.process.name})"
+        else:  # Join
+            self._blocked_on = command
             command.process.done._wait(self)
-        else:
-            raise SchedError(
-                f"process {self.name!r} yielded {command!r}; expected one "
-                f"of {[c.__name__ for c in _COMMANDS]}"
-            )
 
-    def _after_delay(self, command: Delay, start: float) -> None:
+    def _after_delay(self, command: Delay) -> None:
         if command.label is not None:
             lane = command.lane or self.lane
             self.engine._mirror_span(
                 command.label,
                 cat=command.cat,
                 lane=lane,
-                start=start,
+                start=self._delay_start,
                 seconds=command.seconds,
                 args=command.args,
             )
-        self._step(self.engine.now)
+        self._step(self.engine.clock.now)
 
 
 # ---------------------------------------------------------------------------
@@ -331,10 +423,13 @@ class Process:
 # ---------------------------------------------------------------------------
 
 
-# queue entries are plain (time, seq, fn) tuples: seq is unique, so the
-# callable is never compared, and tuple ordering keeps the hot heappush/
-# heappop path free of dataclass __lt__ dispatch (~35% of event cost at
-# half a million events per modeled 4,096-rank point)
+# queue entries are plain (time, seq, fn, arg) tuples: seq is unique, so
+# neither the callable nor the argument is ever compared, and tuple
+# ordering keeps the hot heappush/heappop path free of dataclass __lt__
+# dispatch (~35% of event cost at half a million events per modeled
+# 4,096-rank point). Carrying the argument in the entry is what lets
+# `_resume` enqueue a bound method directly instead of allocating a
+# closure per resumption.
 
 
 class Engine:
@@ -360,10 +455,12 @@ class Engine:
         self.mirror = mirror
         self.events_processed = 0
         self.spans_mirrored = 0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable, object]] = []
         self._seq = 0
+        self._inline_depth = 0
         self._resources: dict[str, Resource] = {}
         self._processes: list[Process] = []
+        self._compact_at = 4096
 
     # -- time ---------------------------------------------------------------
     @property
@@ -404,42 +501,102 @@ class Engine:
         lane: tuple[str, str] | None = None,
     ) -> Process:
         """Register a generator as a process; it starts at the current time."""
-        if not isinstance(gen, Generator):
+        if type(gen) is not GeneratorType and not isinstance(gen, Generator):
             raise SchedError(
                 f"spawn({name!r}) needs a generator (did you call the "
                 "process function?)"
             )
         process = Process(self, name, gen, lane=lane)
-        self._processes.append(process)
+        procs = self._processes
+        procs.append(process)
+        if len(procs) >= self._compact_at:
+            # drop finished processes so the registry (and the cyclic
+            # GC's live set) stays proportional to *running* processes
+            procs[:] = [p for p in procs if not p.finished]
+            self._compact_at = max(4096, 2 * len(procs) + 1024)
         self.schedule(0.0, process._step)
         return process
 
     # -- scheduling ---------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[[], None]) -> int:
-        """Run ``fn`` at ``now + delay``; returns the tie-break sequence."""
-        if not math.isfinite(delay) or delay < 0:
+    def schedule(self, delay: float, fn: Callable, arg=_NO_ARG) -> int:
+        """Run ``fn`` at ``now + delay``; returns the tie-break sequence.
+
+        When ``arg`` is given, ``fn(arg)`` is called instead of ``fn()``
+        — carrying the argument in the queue entry lets hot callers
+        enqueue bound methods without allocating a closure per event.
+        """
+        if not 0.0 <= delay < math.inf:  # False for NaN too
             raise SchedError(f"cannot schedule {delay!r} into the virtual past")
         self._seq += 1
-        heapq.heappush(self._queue, (self.clock.now + delay, self._seq, fn))
+        heapq.heappush(
+            self._queue, (self.clock.now + delay, self._seq, fn, arg)
+        )
         return self._seq
 
     def _resume(self, process: Process, value=None) -> None:
         """Queue a process continuation at the current virtual time."""
-        self.schedule(0.0, lambda: process._step(value))
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self.clock.now, self._seq, process._step, value)
+        )
+
+    def _resume_fast(self, process: Process, value=None) -> None:
+        """Continue a process *now*, without a queue round-trip.
+
+        Used where the continuation is at the current instant and no
+        other process can legally observe the intermediate state: an
+        immediately granted acquire, a release, a wait on an
+        already-fired signal. Virtual timestamps are unchanged — only
+        the heap push/pop pair is saved (roughly a third of all events
+        in an overlap-mode virtual run). The depth guard bounds
+        pathological acquire/release-only loops; past it, continuations
+        fall back to the queue.
+        """
+        if self._inline_depth < 64:
+            self._inline_depth += 1
+            try:
+                process._step(value)
+            finally:
+                self._inline_depth -= 1
+        else:
+            self._resume(process, value)
 
     # -- execution ----------------------------------------------------------
     def run(self, *, until: float | None = None) -> float:
         """Drain the event queue (or stop at ``until``); returns the time."""
         queue = self._queue
         clock = self.clock
-        while queue:
-            if until is not None and queue[0][0] > until:
-                clock.advance_to(until, strict=True)
-                return clock.now
-            when, _, fn = heapq.heappop(queue)
-            clock.advance_to(when, strict=True)
-            self.events_processed += 1
-            fn()
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        events = 0
+        # Pause the cyclic collector for the drain: finished processes
+        # release their frames (refcounting frees them promptly), so the
+        # collector finds no garbage here — it just rescans the tens of
+        # thousands of live rank objects on every threshold trigger,
+        # which measured ~40% of a 16k-rank run's wall time.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    clock.advance_to(until, strict=True)
+                    return clock.now
+                when, _, fn, arg = heappop(queue)
+                # same-timestamp events dispatch in a batch without
+                # touching the clock (the common case: resumptions and
+                # zero-latency deliveries at the current instant)
+                if when > clock.now:
+                    clock.advance_to(when, strict=True)
+                events += 1
+                if arg is no_arg:
+                    fn()
+                else:
+                    fn(arg)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self.events_processed += events
         tracer = self._tracer()
         if tracer is not None:
             tracer.metrics.gauge(
@@ -536,6 +693,49 @@ def use(
         args=args,
     )
     yield Release(resource, tokens)
+
+
+class UsePlan:
+    """Precomputed :func:`use` — one Acquire/Delay/Release triple, reused.
+
+    Virtual-SPMD programs call :func:`use` with *identical* arguments
+    hundreds of thousands of times (every kernel launch and halo
+    exchange of every rank). The commands are frozen dataclasses, so
+    the three objects can be built once and yielded forever; at 64k
+    ranks this removes the bulk of the engine's allocation (and hence
+    cyclic-GC) pressure.
+    """
+
+    __slots__ = ("resource", "seconds", "_acquire", "_delay", "_release")
+
+    def __init__(
+        self,
+        resource: Resource,
+        seconds: float,
+        *,
+        label: str | None = None,
+        cat: str = "core",
+        tokens: int = 1,
+        args: dict | None = None,
+    ):
+        self.resource = resource
+        self.seconds = seconds
+        self._acquire = Acquire(resource, tokens)
+        self._delay = Delay(
+            seconds,
+            label=label if label is not None else resource.name,
+            cat=cat,
+            lane=resource.lane,
+            args=args,
+        )
+        self._release = Release(resource, tokens)
+
+    def use(self) -> Generator:
+        """Semantically identical to :func:`use` with the plan's args."""
+        yield self._acquire
+        self.resource.stats.busy_seconds += self.seconds
+        yield self._delay
+        yield self._release
 
 
 def series(generators: Iterable[Generator]) -> Generator:

@@ -1,0 +1,129 @@
+"""Self-performance suite plumbing (repro.bench.perfsuite).
+
+The timing numbers themselves are CI-host-dependent; these tests pin
+the schema, the bit-identity flags, and the regression-gate logic that
+``benchmarks/bench_selfperf.py --check`` runs in CI.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perfsuite import (
+    BASELINE_DERATE,
+    SCHEMA,
+    check_regressions,
+    render,
+    run_suite,
+    to_baseline,
+    to_json,
+)
+
+CASE_NAMES = {"cache_sweep", "jit_trace_memo", "pack_unpack", "sched_engine"}
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(quick=True)
+
+
+@pytest.fixture(scope="module")
+def payload(suite):
+    return to_json(suite)
+
+
+class TestSchema:
+    def test_payload_shape(self, payload):
+        assert payload["schema"] == SCHEMA
+        assert payload["quick"] is True
+        assert payload["loop_score_miters_per_s"] > 0
+        assert {c["name"] for c in payload["cases"]} == CASE_NAMES
+
+    def test_case_fields(self, payload):
+        for case in payload["cases"]:
+            assert set(case) == {
+                "name", "optimized_seconds", "reference_seconds",
+                "speedup", "identical", "metrics",
+            }
+            assert case["optimized_seconds"] > 0
+
+    def test_differential_cases_are_bit_identical(self, payload):
+        diffed = [c for c in payload["cases"] if c["reference_seconds"]]
+        assert diffed, "no case ran its retained reference path"
+        for case in diffed:
+            assert case["identical"] is True, case["name"]
+
+    def test_sched_case_reports_normalized_rate(self, payload):
+        (sched,) = [c for c in payload["cases"] if c["name"] == "sched_engine"]
+        assert sched["metrics"]["normalized_rate"] > 0
+        assert sched["metrics"]["events_per_second"] > 0
+
+    def test_payload_is_json_serializable(self, payload, tmp_path):
+        path = tmp_path / "BENCH_selfperf.json"
+        path.write_text(json.dumps(payload, indent=2))
+        assert json.loads(path.read_text()) == payload
+
+    def test_render_mentions_every_case(self, suite):
+        text = render(suite)
+        for name in CASE_NAMES:
+            assert name in text
+
+
+class TestBaseline:
+    def test_derates_gated_quantities_only(self, payload):
+        base = to_baseline(payload)
+        assert "note" in base
+        for cur, floor in zip(payload["cases"], base["cases"]):
+            if cur["speedup"]:
+                assert floor["speedup"] == pytest.approx(
+                    cur["speedup"] * BASELINE_DERATE, abs=1e-3
+                )
+            rate = cur["metrics"].get("normalized_rate")
+            if rate:
+                assert floor["metrics"]["normalized_rate"] == pytest.approx(
+                    rate * BASELINE_DERATE, abs=1e-6
+                )
+            # raw seconds are never touched
+            assert floor["optimized_seconds"] == cur["optimized_seconds"]
+
+    def test_committed_baseline_is_valid(self, payload):
+        path = Path(__file__).parents[2] / "benchmarks" / "BENCH_selfperf_baseline.json"
+        baseline = json.loads(path.read_text())
+        assert baseline["schema"] == SCHEMA
+        assert {c["name"] for c in baseline["cases"]} == CASE_NAMES
+
+
+class TestGate:
+    def test_run_passes_against_own_baseline(self, payload):
+        assert check_regressions(payload, to_baseline(payload)) == []
+
+    def test_detects_speedup_collapse(self, payload):
+        doctored = copy.deepcopy(payload)
+        for case in doctored["cases"]:
+            if case["speedup"]:
+                case["speedup"] = 0.1
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert failures
+        assert any("fell below" in f for f in failures)
+
+    def test_detects_identity_regression(self, payload):
+        doctored = copy.deepcopy(payload)
+        for case in doctored["cases"]:
+            if case["identical"]:
+                case["identical"] = False
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert any("no longer bit-identical" in f for f in failures)
+
+    def test_detects_missing_case(self, payload):
+        doctored = copy.deepcopy(payload)
+        doctored["cases"] = doctored["cases"][1:]
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert any("missing from current run" in f for f in failures)
+
+    def test_rejects_wrong_schema(self, payload):
+        doctored = copy.deepcopy(payload)
+        doctored["schema"] = "repro.bench.selfperf/0"
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert any("schema" in f for f in failures)

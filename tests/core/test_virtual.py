@@ -108,3 +108,61 @@ class TestFrontierScale:
         obj = to_chrome_trace(tracer)
         validate_chrome_trace(obj)
         assert len(obj["traceEvents"]) > 4096
+
+
+class TestNetworkWiring:
+    """Satellite: virtual SPMD charges the placement-aware LogGP model
+    and (optionally) contends ranks for the per-node NIC pool."""
+
+    def test_p2p_callback_charges_inter_node_sends(self):
+        from repro.cluster.placement import Placement
+        from repro.mpi.netmodel import NetModel
+        from repro.sched import Engine
+        from repro.sched.vspmd import run_virtual_spmd
+
+        net = NetModel(Placement(16))
+
+        def program(comm):
+            # rank 0 lives on node 0, rank 15 on node 1: the send
+            # crosses the interconnect and must cost LogGP time
+            if comm.rank == 0:
+                comm.send(15, nbytes=float(1 << 20))
+            elif comm.rank == 15:
+                yield from comm.recv(0)
+            yield from comm.barrier()
+
+        free = Engine()
+        run_virtual_spmd(program, 16, engine=free)
+        charged = Engine()
+        run_virtual_spmd(program, 16, engine=charged, p2p_seconds=net.p2p_seconds)
+        assert charged.now > free.now
+        assert charged.now >= net.p2p_seconds(0, 15, float(1 << 20))
+
+    def test_workflow_default_run_uses_netmodel(self):
+        # the workflow-level default wires NetModel.p2p_seconds, so a
+        # run's modeled time exceeds the per-rank compute-only floor
+        result = VirtualWorkflow(_settings(), nranks=16).run()
+        assert result.elapsed_seconds > 0
+
+    def test_nic_contention_is_opt_in_and_never_faster(self):
+        base = VirtualWorkflow(_settings(), nranks=16, overlap=True).run()
+        contended = VirtualWorkflow(
+            _settings(), nranks=16, overlap=True, nic_contention=True
+        ).run()
+        assert contended.elapsed_seconds >= base.elapsed_seconds
+
+    def test_nic_contention_deterministic(self):
+        first = VirtualWorkflow(
+            _settings(), nranks=16, nic_contention=True
+        ).run()
+        again = VirtualWorkflow(
+            _settings(), nranks=16, nic_contention=True
+        ).run()
+        np.testing.assert_array_equal(
+            first.rank_finish_seconds, again.rank_finish_seconds
+        )
+
+    def test_nic_pool_matches_node_spec(self):
+        from repro.cluster.frontier import FRONTIER
+
+        assert FRONTIER.node.nics_per_node == 4

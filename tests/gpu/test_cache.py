@@ -166,3 +166,41 @@ class TestTraceCacheSim:
             sim.sweep(shape, itemsize, seven_point_offsets(), store=False)
             measured = sim.fetch_bytes / (np.prod(shape) * itemsize)
             assert abs(measured - analytic) < 0.75, (shape, capacity, measured, analytic)
+
+
+@pytest.mark.slow
+class TestPaperScaleSweeps:
+    """Acceptance scale (marked slow; run with ``-m slow``)."""
+
+    def test_L256_two_variable_sweep_under_60s(self):
+        from repro.gpu.proxy import kernel_access_pattern
+
+        import time
+
+        loads, stores = kernel_access_pattern(2)
+        sim = TraceCacheSim(8 * 1024 * 1024)
+        t0 = time.perf_counter()
+        est = sim.multi_sweep((256, 256, 256), 8, loads, stores)
+        wall = time.perf_counter() - t0
+        assert wall < 60.0, f"L=256 sweep took {wall:.1f}s"
+        assert est.tcc_misses > 0 and est.fetch_bytes > 0
+
+    def test_L192_vector_at_least_20x_faster_and_identical(self):
+        from repro.gpu.proxy import kernel_access_pattern
+
+        import time
+
+        loads, stores = kernel_access_pattern(2)
+        vec = TraceCacheSim(8 * 1024 * 1024)
+        t0 = time.perf_counter()
+        est_v = vec.multi_sweep((192,) * 3, 8, loads, stores, engine="vector")
+        vec_s = time.perf_counter() - t0
+        ref = TraceCacheSim(8 * 1024 * 1024)
+        t0 = time.perf_counter()
+        est_s = ref.multi_sweep((192,) * 3, 8, loads, stores, engine="scalar")
+        ref_s = time.perf_counter() - t0
+        assert est_v == est_s
+        assert (vec.hits, vec.misses, vec.load_misses) == (
+            ref.hits, ref.misses, ref.load_misses
+        )
+        assert ref_s / vec_s >= 20.0, f"only {ref_s / vec_s:.1f}x"

@@ -261,3 +261,60 @@ class TestJitCompiler:
         assert compiled.scratch_bytes == 8_192
         assert compiled.loads_per_workitem == 7
         assert compiled.stores_per_workitem == 1
+
+
+class TestTraceMemo:
+    def _args(self, n=8, dtype=np.float64):
+        shape = (n, n, n)
+        return (
+            np.ones(shape, dtype=dtype, order="F"),
+            np.zeros(shape, dtype=dtype, order="F"),
+            shape, 0.2, 1.0,
+        )
+
+    def test_repeat_launch_is_one_trace(self):
+        from repro.gpu.jit import TraceMemo
+
+        memo = TraceMemo()
+        kernel = make_laplacian_kernel()
+        args = self._args()
+        first = memo.trace(kernel, args)
+        for _ in range(19):
+            assert memo.trace(kernel, args) is first
+        assert memo.misses == 1 and memo.hits == 19
+
+    def test_shape_class_changes_retrace(self):
+        from repro.gpu.jit import TraceMemo
+
+        memo = TraceMemo()
+        kernel = make_laplacian_kernel()
+        memo.trace(kernel, self._args(8))
+        memo.trace(kernel, self._args(10))
+        assert memo.misses == 2
+
+    def test_dtype_changes_retrace(self):
+        from repro.gpu.jit import TraceMemo
+
+        memo = TraceMemo()
+        kernel = make_laplacian_kernel()
+        memo.trace(kernel, self._args(dtype=np.float64))
+        memo.trace(kernel, self._args(dtype=np.float32))
+        assert memo.misses == 2
+
+    def test_eviction_respects_maxsize(self):
+        from repro.gpu.jit import TraceMemo
+
+        memo = TraceMemo(maxsize=2)
+        kernel = make_laplacian_kernel()
+        memo.trace(kernel, self._args(6))
+        memo.trace(kernel, self._args(7))
+        memo.trace(kernel, self._args(8))  # evicts the n=6 entry
+        memo.trace(kernel, self._args(6))
+        assert memo.misses == 4
+
+    def test_stats_shape(self):
+        from repro.gpu.jit import TraceMemo
+
+        memo = TraceMemo()
+        stats = memo.stats
+        assert set(stats) >= {"hits", "misses", "entries"}

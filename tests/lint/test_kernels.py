@@ -205,3 +205,43 @@ class TestAnalyzeTrace:
 
         with pytest.raises(TraceError):
             lint_kernel(_kernel(body), _arrays(shape=(2, 8, 8)))
+
+
+class TestOccupancy:
+    """Satellite: GPU-OCCUPANCY surfaces the Table 3 / Fig 7 story —
+    the julia backend's codegen leaves half the CU's wave slots empty."""
+
+    def test_julia_backend_fires_info(self):
+        from repro.lint import check_occupancy
+
+        report = check_occupancy("julia")
+        hits = [d for d in report.diagnostics if d.rule == "GPU-OCCUPANCY"]
+        assert len(hits) == 1
+        assert hits[0].severity == Severity.INFO
+        assert report.facts["backend:julia.occupancy_percent"] == 50.0
+        # informational only: does not flip the report to unclean
+        assert report.clean
+
+    def test_hip_backend_is_silent(self):
+        from repro.lint import check_occupancy
+
+        report = check_occupancy("hip")
+        assert not any(d.rule == "GPU-OCCUPANCY" for d in report.diagnostics)
+        assert report.facts["backend:hip.occupancy_percent"] == 100.0
+
+    def test_runner_includes_occupancy_for_gpu_backends(self):
+        from repro.lint import lint_workflow
+
+        settings = GrayScottSettings(L=12, steps=4, plotgap=2, backend="julia")
+        report = lint_workflow(settings)
+        assert "backend:julia.occupancy_percent" in report.facts
+        assert report.clean
+
+    def test_runner_skips_occupancy_for_cpu(self):
+        from repro.lint import lint_workflow
+
+        settings = GrayScottSettings(L=12, steps=4, plotgap=2, backend="cpu")
+        report = lint_workflow(settings)
+        assert not any(
+            k.endswith("occupancy_percent") for k in report.facts
+        )

@@ -1,0 +1,175 @@
+"""Differential properties: optimized hot paths vs retained references.
+
+Every optimization of the perf pass keeps its slow path; these
+properties drive randomized inputs through both and require
+bit-identical outputs:
+
+- the vectorized cache-sweep engine vs the scalar per-access loop
+  (same FETCH/WRITE/HIT/MISS counters and traffic estimate);
+- the memoized JIT launch trace vs a cold re-trace (same IR, flops,
+  access records);
+- the strided-view pack/unpack vs the fancy-index gather/scatter
+  (same wire bytes, same scattered array).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stencil import make_laplacian_kernel
+from repro.gpu.cache import TraceCacheSim
+from repro.gpu.jit import TraceMemo, trace_kernel
+from repro.mpi.datatypes import VectorDatatype, pack, unpack
+
+# -- cache sweep ------------------------------------------------------------
+
+offset_3d = st.tuples(
+    st.integers(-1, 1), st.integers(-1, 1), st.integers(-1, 1)
+)
+
+
+@st.composite
+def sweep_case(draw):
+    shape = tuple(draw(st.integers(5, 12)) for _ in range(3))
+    itemsize = draw(st.sampled_from([4, 8]))
+    narrays = draw(st.integers(1, 2))
+    loads = {}
+    stores = {}
+    for i in range(narrays):
+        loads[f"a{i}"] = set(
+            draw(st.lists(offset_3d, min_size=1, max_size=7, unique=True))
+        )
+        stores[f"a{i}_out"] = {(0, 0, 0)}
+    capacity = draw(st.sampled_from([16 * 1024, 64 * 1024, 1024 * 1024]))
+    return shape, itemsize, loads, stores, capacity
+
+
+class TestCacheSweepEngines:
+    @given(sweep_case())
+    @settings(max_examples=40, deadline=None)
+    def test_vector_matches_scalar(self, case):
+        shape, itemsize, loads, stores, capacity = case
+        vec = TraceCacheSim(capacity)
+        est_v = vec.multi_sweep(shape, itemsize, loads, stores, engine="vector")
+        ref = TraceCacheSim(capacity)
+        est_s = ref.multi_sweep(shape, itemsize, loads, stores, engine="scalar")
+        assert est_v == est_s
+        assert (vec.hits, vec.misses, vec.load_misses) == (
+            ref.hits, ref.misses, ref.load_misses
+        )
+
+    @given(sweep_case())
+    @settings(max_examples=20, deadline=None)
+    def test_single_sweep_engines_match(self, case):
+        shape, itemsize, loads, _, capacity = case
+        offsets = next(iter(loads.values()))
+        vec = TraceCacheSim(capacity)
+        vec.sweep(shape, itemsize, offsets, engine="vector")
+        ref = TraceCacheSim(capacity)
+        ref.sweep(shape, itemsize, offsets, engine="scalar")
+        assert (vec.hits, vec.misses, vec.fetch_bytes) == (
+            ref.hits, ref.misses, ref.fetch_bytes
+        )
+
+
+# -- JIT launch-trace memo --------------------------------------------------
+
+
+@st.composite
+def laplacian_launch(draw):
+    n = draw(st.integers(5, 9))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    coeff = draw(st.floats(0.01, 2.0, allow_nan=False))
+    dt = draw(st.floats(0.1, 1.5, allow_nan=False))
+    shape = (n, n, n)
+    u = np.ones(shape, dtype=dtype, order="F")
+    out = np.zeros(shape, dtype=dtype, order="F")
+    return (u, out, shape, float(coeff), float(dt))
+
+
+class TestTraceMemoProperties:
+    @given(laplacian_launch())
+    @settings(max_examples=30, deadline=None)
+    def test_memoized_trace_matches_cold_trace(self, args):
+        kernel = make_laplacian_kernel()
+        memo = TraceMemo()
+        memoized = memo.trace(kernel, args)
+        cold = trace_kernel(kernel, args)
+        assert memoized.ir_lines == cold.ir_lines
+        assert memoized.flops == cold.flops
+        assert [str(a) for a in memoized.unique_loads] == [
+            str(a) for a in cold.unique_loads
+        ]
+        assert [str(a) for a in memoized.unique_stores] == [
+            str(a) for a in cold.unique_stores
+        ]
+
+    @given(laplacian_launch())
+    @settings(max_examples=20, deadline=None)
+    def test_repeat_launches_hit_the_memo(self, args):
+        kernel = make_laplacian_kernel()
+        memo = TraceMemo()
+        first = memo.trace(kernel, args)
+        second = memo.trace(kernel, args)
+        assert second is first
+        assert memo.hits == 1 and memo.misses == 1
+
+
+# -- strided pack/unpack ----------------------------------------------------
+
+
+@st.composite
+def strided_case(draw):
+    count = draw(st.integers(1, 8))
+    blocklength = draw(st.integers(1, 6))
+    stride = blocklength + draw(st.integers(0, 8))
+    dtype = draw(st.sampled_from([np.float64, np.float32, np.int32]))
+    dt = VectorDatatype(count, blocklength, stride, base=_base_for(dtype))
+    dt.commit()
+    offset = draw(st.integers(0, 5))
+    size = offset + dt.extent_elements + draw(st.integers(0, 5))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    if np.issubdtype(dtype, np.integer):
+        buf = rng.integers(-1000, 1000, size=size).astype(dtype)
+    else:
+        buf = rng.standard_normal(size).astype(dtype)
+    return dt, offset, buf
+
+
+def _base_for(dtype):
+    from repro.mpi.datatypes import DOUBLE, FLOAT, INT32
+
+    return {np.float64: DOUBLE, np.float32: FLOAT, np.int32: INT32}[dtype]
+
+
+class TestStridedPackUnpack:
+    @given(strided_case())
+    @settings(max_examples=80, deadline=None)
+    def test_pack_paths_bit_identical(self, case):
+        dt, offset, buf = case
+        strided = pack(buf, dt, offset_elements=offset, mode="strided")
+        gather = pack(buf, dt, offset_elements=offset, mode="gather")
+        assert strided.dtype == gather.dtype
+        assert strided.tobytes() == gather.tobytes()
+
+    @given(strided_case())
+    @settings(max_examples=80, deadline=None)
+    def test_unpack_paths_bit_identical(self, case):
+        dt, offset, buf = case
+        wire = pack(buf, dt, offset_elements=offset)
+        out_s = np.zeros_like(buf)
+        out_g = np.zeros_like(buf)
+        unpack(out_s, dt, wire, offset_elements=offset, mode="strided")
+        unpack(out_g, dt, wire, offset_elements=offset, mode="gather")
+        assert out_s.tobytes() == out_g.tobytes()
+
+    @given(strided_case())
+    @settings(max_examples=40, deadline=None)
+    def test_auto_mode_roundtrip(self, case):
+        dt, offset, buf = case
+        wire = pack(buf, dt, offset_elements=offset)
+        out = np.zeros_like(buf)
+        unpack(out, dt, wire, offset_elements=offset)
+        flat = buf.reshape(-1)
+        sel = dt.element_offsets() + offset
+        assert np.array_equal(out.reshape(-1)[sel], flat[sel])

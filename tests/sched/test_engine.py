@@ -281,3 +281,69 @@ class TestMirroring:
         engine.spawn("p", delay(1.0, label="kernel"))
         engine.run()
         assert tracer.spans == []
+
+
+class TestUsePlan:
+    """UsePlan.use() must be observationally identical to use()."""
+
+    def _run(self, factory):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+        gcd = engine.resource("gcd", capacity=2, lane=("node0", "gpu"))
+
+        def worker(make_use):
+            for _ in range(3):
+                yield from make_use(gcd)
+
+        make = factory(gcd)
+        for i in range(4):
+            engine.spawn(f"w{i}", worker(make))
+        engine.run()
+        return engine, gcd, tracer
+
+    def test_plan_matches_adhoc_use(self):
+        from repro.sched import UsePlan
+
+        adhoc, gcd_a, tr_a = self._run(
+            lambda gcd: lambda r: use(r, 1.5, label="kernel", cat="gpu")
+        )
+        plan = UsePlan
+        planned, gcd_p, tr_p = self._run(
+            lambda gcd: (lambda p: (lambda r: p.use()))(
+                plan(gcd, 1.5, label="kernel", cat="gpu")
+            )
+        )
+        assert planned.now == adhoc.now
+        assert gcd_p.stats.busy_seconds == gcd_a.stats.busy_seconds
+        assert gcd_p.stats.acquires == gcd_a.stats.acquires
+        assert gcd_p.stats.waits == gcd_a.stats.waits
+        assert gcd_p.stats.wait_seconds == gcd_a.stats.wait_seconds
+        assert len(tr_p.spans) == len(tr_a.spans)
+        assert [(s.start, s.seconds, s.name) for s in tr_p.spans] == [
+            (s.start, s.seconds, s.name) for s in tr_a.spans
+        ]
+
+    def test_plan_defaults_label_to_resource_name(self):
+        from repro.sched import UsePlan
+
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+        nic = engine.resource("nic0", lane=("node0", "mpi"))
+        engine.spawn("p", UsePlan(nic, 2.0).use())
+        engine.run()
+        (span,) = tracer.spans
+        assert span.name == "nic0"
+        assert nic.stats.busy_seconds == 2.0
+
+    def test_plan_is_reusable_across_processes(self):
+        from repro.sched import UsePlan
+
+        engine = Engine()
+        res = engine.resource("r", capacity=1)
+        plan = UsePlan(res, 1.0)
+        for i in range(5):
+            engine.spawn(f"p{i}", plan.use())
+        engine.run()
+        # capacity-1 resource serializes the five holders
+        assert engine.now == 5.0
+        assert res.stats.busy_seconds == 5.0

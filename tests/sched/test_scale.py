@@ -1,0 +1,49 @@
+"""Paper-scale virtual SPMD runs (marked slow; run with ``-m slow``).
+
+The perf pass exists so the discrete-event engine can model Frontier
+job sizes — 16,384 ranks inside the CLI acceptance budget and the
+65,536-rank scale the paper's Section 5.2 attempts — in one Python
+process. These tests pin that capability.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.settings import GrayScottSettings
+from repro.core.virtual import VirtualWorkflow
+
+
+@pytest.mark.slow
+class TestPaperScale:
+    def test_16384_ranks_overlap_under_120s_with_valid_trace(self, tmp_path):
+        from repro.observe.export import to_chrome_trace
+        from repro.observe.trace import Tracer
+
+        settings = GrayScottSettings(L=64, steps=20, plotgap=10, backend="julia")
+        tracer = Tracer()
+        t0 = time.perf_counter()
+        result = VirtualWorkflow(
+            settings, nranks=16384, overlap=True, tracer=tracer
+        ).run()
+        wall = time.perf_counter() - t0
+        assert wall < 120.0, f"16384-rank overlap run took {wall:.1f}s"
+        assert result.nranks == 16384
+        assert result.events_processed > 1_000_000
+        # the exported Perfetto timeline is valid JSON with events
+        payload = to_chrome_trace(tracer)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        reloaded = json.loads(path.read_text())
+        assert reloaded["traceEvents"], "trace exported no events"
+
+    def test_65536_ranks_overlap(self):
+        settings = GrayScottSettings(L=64, steps=20, plotgap=10, backend="julia")
+        result = VirtualWorkflow(settings, nranks=65536, overlap=True).run()
+        assert result.nranks == 65536
+        assert result.rank_finish_seconds.shape == (65536,)
+        assert np.all(result.rank_finish_seconds > 0)
+        assert result.events_processed > 5_000_000
+        assert result.elapsed_seconds > 0

@@ -245,3 +245,16 @@ class TestCliVirtual:
         GrayScottSettings(L=12, steps=2, backend="cpu").save(path)
         assert main(["run", str(path), "--virtual-ranks", "4"]) == 1
         assert "backend" in capsys.readouterr().err.lower()
+
+    def test_nic_contention_flag(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        assert main([
+            "run", str(path), "--virtual-ranks", "8", "--overlap",
+            "--nic-contention",
+        ]) == 0
+        assert "virtual SPMD run: 8 ranks" in capsys.readouterr().out
+
+    def test_nic_contention_requires_virtual_ranks(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        assert main(["run", str(path), "--nic-contention"]) == 2
+        assert "--virtual-ranks" in capsys.readouterr().err
