@@ -216,6 +216,11 @@ class BP5Writer:
                 else:
                     self.comm.send((written, summaries), 0, _TAG_META)
             else:
+                # block_payload returns zero-copy memoryviews; they must
+                # become bytes to cross the (pickling) comm boundary
+                for rec in local_blocks:
+                    if not isinstance(rec["payload"], bytes):
+                        rec["payload"] = bytes(rec["payload"])
                 self.comm.send(local_blocks, aggregator, _TAG_BLOCKS)
             self.comm.barrier()  # step is durable before anyone continues
         self._in_step = False
@@ -288,33 +293,48 @@ class BP5Writer:
         with _adios_span(
             self.rank, "subfile.flush", subfile=self._subfile, bytes=flushed
         ):
-            for writer_rank, records in incoming:
-                for rec in records:
-                    if rec["scalar"] is not None or rec["payload"] == b"":
-                        offset = 0
-                    else:
-                        offset = bp5.append_block(
-                            self.path, self._subfile, rec["payload"]
-                        )
-                    summaries[rec["var"]] = (rec["dtype"], tuple(rec["shape"]))
-                    blocks.append(
-                        BlockInfo(
-                            var=rec["var"],
-                            step=self._step,
-                            writer_rank=writer_rank,
-                            subfile=self._subfile,
-                            offset=offset,
-                            nbytes=len(rec["payload"]),
-                            start=tuple(rec["start"]),
-                            count=tuple(rec["count"]),
-                            vmin=rec["min"],
-                            vmax=rec["max"],
-                            crc32=rec["crc"],
-                            value=rec["scalar"],
-                            codec=rec.get("codec"),
-                            raw_nbytes=rec.get("raw_nbytes", 0),
-                        )
+            # fast path: every data block of the step goes out in one
+            # open + one vectored write instead of one open per block
+            flat = [
+                (writer_rank, rec)
+                for writer_rank, records in incoming
+                for rec in records
+            ]
+            data_recs = [
+                rec for _, rec in flat
+                if rec["scalar"] is None and len(rec["payload"]) > 0
+            ]
+            offsets = iter(
+                bp5.append_blocks(
+                    self.path, self._subfile,
+                    [rec["payload"] for rec in data_recs],
+                )
+                if data_recs else ()
+            )
+            for writer_rank, rec in flat:
+                if rec["scalar"] is not None or len(rec["payload"]) == 0:
+                    offset = 0
+                else:
+                    offset = next(offsets)
+                summaries[rec["var"]] = (rec["dtype"], tuple(rec["shape"]))
+                blocks.append(
+                    BlockInfo(
+                        var=rec["var"],
+                        step=self._step,
+                        writer_rank=writer_rank,
+                        subfile=self._subfile,
+                        offset=offset,
+                        nbytes=len(rec["payload"]),
+                        start=tuple(rec["start"]),
+                        count=tuple(rec["count"]),
+                        vmin=rec["min"],
+                        vmax=rec["max"],
+                        crc32=rec["crc"],
+                        value=rec["scalar"],
+                        codec=rec.get("codec"),
+                        raw_nbytes=rec.get("raw_nbytes", 0),
                     )
+                )
         tracer = observe.active()
         if tracer is not None:
             tracer.metrics.counter(

@@ -267,7 +267,7 @@ class IoWeakScalingModel:
             overlap=overlap,
         )
 
-    def run(self, nranks_list=None) -> list[IoScalingPoint]:
+    def run(self, nranks_list=None, *, jobs: int = 1) -> list[IoScalingPoint]:
         from repro.bench.sweep import run_ladder
 
-        return run_ladder(self.run_point, nranks_list)
+        return run_ladder(self.run_point, nranks_list, jobs=jobs)

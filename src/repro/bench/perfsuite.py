@@ -11,6 +11,13 @@ bit-identity where a reference exists:
   :func:`repro.gpu.jit.trace_kernel` per launch (identical traces);
 - ``pack_unpack`` — :func:`repro.mpi.datatypes.pack`/``unpack`` strided
   view vs. the retained gather path (identical wire bytes);
+- ``io_bp5`` — :func:`repro.adios.bp5.append_blocks` batched writev of
+  zero-copy :func:`~repro.adios.bp5.block_payload` views vs. the
+  retained per-block ``tobytes`` + ``append_block`` path (identical
+  file bytes, offsets, and CRCs);
+- ``par_speedup`` — the Fig. 6 rank ladder through
+  :func:`repro.par.run_tasks` at ``--jobs 2`` vs. serial (identical
+  points; the speedup is the process-parallel win on multi-core CI);
 - ``sched_engine`` — a virtual-SPMD overlap run; no slow engine is
   retained, so the case reports absolute throughput plus a
   machine-normalized event rate for the regression gate.
@@ -231,6 +238,104 @@ def _case_pack_unpack(quick: bool) -> CaseResult:
     )
 
 
+def _case_io_bp5(quick: bool) -> CaseResult:
+    import tempfile
+    import zlib
+    from pathlib import Path
+
+    from repro.adios import bp5
+
+    nblocks = 64 if quick else 128
+    edge = 16 if quick else 32
+    rng = np.random.default_rng(7)
+    blocks = [
+        np.asfortranarray(rng.random((edge, edge, edge)))
+        for _ in range(nblocks)
+    ]
+
+    def fast(root: Path):
+        payloads, crcs = [], []
+        for b in blocks:
+            payload, crc = bp5.block_payload(b)
+            payloads.append(payload)
+            crcs.append(crc)
+        return bp5.append_blocks(root, 0, payloads), crcs
+
+    def ref(root: Path):
+        # the retained per-block path: one tobytes copy and one
+        # open+write syscall pair per block
+        offsets, crcs = [], []
+        for b in blocks:
+            payload = b.tobytes(order="F")
+            crcs.append(zlib.crc32(payload) & 0xFFFFFFFF)
+            offsets.append(bp5.append_block(root, 0, payload))
+        return offsets, crcs
+
+    repeats = 3 if quick else 5
+    opt_s = ref_s = float("inf")
+    identical = True
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(repeats):
+            fast_root = Path(tmp) / f"fast{i}.bp"
+            ref_root = Path(tmp) / f"ref{i}.bp"
+            bp5.create_dataset(fast_root, 1)
+            bp5.create_dataset(ref_root, 1)
+            t0 = time.perf_counter()
+            fast_offsets, fast_crcs = fast(fast_root)
+            opt_s = min(opt_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            ref_offsets, ref_crcs = ref(ref_root)
+            ref_s = min(ref_s, time.perf_counter() - t0)
+            identical = identical and (
+                fast_offsets == ref_offsets
+                and fast_crcs == ref_crcs
+                and (fast_root / "data.0").read_bytes()
+                == (ref_root / "data.0").read_bytes()
+            )
+    return CaseResult(
+        name="io_bp5",
+        optimized_seconds=opt_s,
+        reference_seconds=ref_s,
+        identical=identical,
+        metrics={
+            "blocks": nblocks,
+            "block_bytes": blocks[0].nbytes,
+            "step_bytes": nblocks * blocks[0].nbytes,
+        },
+    )
+
+
+def _case_par_speedup(quick: bool) -> CaseResult:
+    from repro.bench import fig6
+
+    ranks = (1, 8, 64, 512) if quick else (1, 8, 64, 512, 4096)
+    steps = 10 if quick else 20
+    jobs = 2
+
+    t0 = time.perf_counter()
+    serial = fig6.run_frontier(steps=steps, ranks=ranks)
+    ref_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = fig6.run_frontier(steps=steps, ranks=ranks, jobs=jobs)
+    opt_s = time.perf_counter() - t0
+
+    identical = len(serial) == len(par) and all(
+        a.nranks == b.nranks
+        and a.steps == b.steps
+        and np.array_equal(a.rank_seconds, b.rank_seconds)
+        and a.kernel_seconds_per_step == b.kernel_seconds_per_step
+        and a.comm_seconds_mean == b.comm_seconds_mean
+        for a, b in zip(serial, par)
+    )
+    return CaseResult(
+        name="par_speedup",
+        optimized_seconds=opt_s,
+        reference_seconds=ref_s,
+        identical=identical,
+        metrics={"ladder": list(ranks), "steps": steps, "jobs": jobs},
+    )
+
+
 def _case_sched_engine(quick: bool, loop_score: float) -> CaseResult:
     from repro.core.settings import GrayScottSettings
     from repro.core.virtual import VirtualWorkflow
@@ -268,6 +373,8 @@ def run_suite(*, quick: bool = False) -> SuiteResult:
         _case_cache_sweep(quick),
         _case_jit_trace_memo(quick),
         _case_pack_unpack(quick),
+        _case_io_bp5(quick),
+        _case_par_speedup(quick),
         _case_sched_engine(quick, loop_score),
     ]
     return SuiteResult(quick=quick, loop_score=loop_score, cases=cases)

@@ -21,13 +21,23 @@ P = TypeVar("P")
 def run_ladder(
     run_point: Callable[[int], P],
     nranks_list: Iterable[int] | None = None,
+    *,
+    jobs: int = 1,
 ) -> list[P]:
     """Evaluate ``run_point`` at every job size of the ladder.
 
     ``nranks_list=None`` means the paper's :data:`RANK_LADDER`; any
-    iterable of rank counts substitutes a custom sweep.
+    iterable of rank counts substitutes a custom sweep. ``jobs > 1``
+    evaluates the points on a :func:`repro.par.run_tasks` process pool
+    — every point's model derives its randomness purely from the seed,
+    so the returned list is bit-identical to the serial one (``jobs=0``
+    means one worker per core).
     """
     sizes: Sequence[int] = (
         RANK_LADDER if nranks_list is None else tuple(nranks_list)
     )
-    return [run_point(n) for n in sizes]
+    if jobs == 1:
+        return [run_point(n) for n in sizes]
+    from repro.par import run_tasks
+
+    return run_tasks(run_point, sizes, jobs=jobs, chunksize=1)

@@ -51,6 +51,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("grayscott: --nic-contention requires --virtual-ranks",
               file=sys.stderr)
         return 2
+    if args.jobs != 1:
+        print("grayscott: --jobs requires --virtual-ranks", file=sys.stderr)
+        return 2
 
     profiler = None
     if args.trace:
@@ -120,7 +123,7 @@ def _run_virtual(args: argparse.Namespace, settings) -> int:
         nic_contention=args.nic_contention,
         tracer=tracer,
     )
-    result = workflow.run()
+    result = workflow.run(jobs=args.jobs)
     print(result.render())
     if args.trace_out:
         from repro.observe.export import write_chrome_trace
@@ -266,7 +269,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     elif target == "fig6":
         from repro.bench import fig6
 
-        print(fig6.render_frontier(fig6.run_frontier()))
+        print(fig6.render_frontier(fig6.run_frontier(jobs=args.jobs)))
         print()
         print(fig6.render_mini(fig6.run_mini()))
     elif target == "fig7":
@@ -276,7 +279,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     elif target == "fig8":
         from repro.bench import fig8
 
-        print(fig8.render_frontier(fig8.run_frontier()))
+        print(fig8.render_frontier(fig8.run_frontier(jobs=args.jobs)))
         print()
         print(fig8.render_mini(fig8.run_mini()))
     elif target == "listing1":
@@ -342,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--nic-contention", action="store_true",
         help="with --virtual-ranks: halo traffic queues on the node's "
              "4 shared Slingshot NICs instead of a private per-rank link",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="with --virtual-ranks: shard the modeled ranks over N worker "
+             "processes (0 = all cores); results are bit-identical to "
+             "--jobs 1",
     )
     p_run.add_argument(
         "--timings", action="store_true",
@@ -413,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
             "fig5", "fig6", "fig7", "fig8",
             "listing1", "listing4", "report", "strong",
         ],
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the fig6/fig8 rank ladders across N worker processes "
+             "(0 = all cores); other targets ignore it",
     )
     p_bench.set_defaults(func=_cmd_bench)
     return parser

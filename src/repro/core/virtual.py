@@ -145,6 +145,14 @@ class VirtualWorkflow:
         return gen.normal(0.0, noise_sigma(self.nranks), size=self.nranks)
 
     def _comm_seconds(self) -> np.ndarray:
+        return self._comm_slice(0, self.nranks)
+
+    def _comm_slice(self, lo: int, hi: int) -> np.ndarray:
+        """Per-rank halo-exchange seconds for ranks ``[lo, hi)``.
+
+        Each rank's cost is an independent pure function of the seed and
+        placement, so shard workers evaluate only their own slice.
+        """
         from repro.mpi.netmodel import HaloExchangeModel
 
         halo = HaloExchangeModel(
@@ -153,7 +161,7 @@ class VirtualWorkflow:
             machine=self.machine,
         )
         return np.array(
-            [halo.rank_step_seconds(r).total_seconds for r in range(self.nranks)]
+            [halo.rank_step_seconds(r).total_seconds for r in range(lo, hi)]
         )
 
     def _bytes_per_node(self) -> int:
@@ -163,7 +171,52 @@ class VirtualWorkflow:
         return 2 * cells * itemsize * ranks_on_full_node
 
     # -- the run ------------------------------------------------------------
-    def run(self) -> VirtualRunResult:
+    def run(self, *, jobs: int = 1) -> VirtualRunResult:
+        """Run the virtual workflow; ``jobs > 1`` shards ranks over workers.
+
+        The sharded path (see :mod:`repro.par` and docs/PARALLEL.md)
+        partitions ranks into node-aligned contiguous shards, simulates
+        each epoch (the steps between two output barriers) of every
+        shard in a separate process, and re-synchronizes at the exact
+        barrier times — ranks only couple at output-step barriers and
+        the final allreduce, so the result is bit-identical to the
+        serial run. ``nic_contention`` couples ranks within every step,
+        so it falls back to the serial engine.
+        """
+        from repro.par import resolve_jobs
+
+        jobs = resolve_jobs(jobs)
+        if jobs > 1 and not self.nic_contention:
+            shards = self._shards(jobs)
+            if len(shards) > 1:
+                return self._run_sharded(jobs, shards)
+        return self._run_serial()
+
+    def _shards(self, jobs: int) -> list[tuple[int, int]]:
+        """Split ranks into <= ``jobs`` node-aligned ``(lo, hi)`` ranges.
+
+        Node alignment keeps each node's leader rank and its followers
+        in the same shard, so a shard can simulate its BP5 writes
+        without cross-shard traffic.
+        """
+        # node boundaries: ranks are placed on nodes in contiguous runs
+        bounds = [0]
+        for r in range(1, self.nranks):
+            if self.placement.location(r).node != self.placement.location(r - 1).node:
+                bounds.append(r)
+        bounds.append(self.nranks)
+        nnodes = len(bounds) - 1
+        nshards = min(jobs, nnodes)
+        shards = []
+        base, extra = divmod(nnodes, nshards)
+        node = 0
+        for s in range(nshards):
+            take = base + (1 if s < extra else 0)
+            shards.append((bounds[node], bounds[node + take]))
+            node += take
+        return shards
+
+    def _run_serial(self) -> VirtualRunResult:
         from repro.adios.fsmodel import LustreModel
         from repro.gpu.proxy import (
             VirtualGcd,
@@ -284,3 +337,244 @@ class VirtualWorkflow:
             ),
             results=spmd.results,
         )
+
+    # -- sharded execution --------------------------------------------------
+    def _run_sharded(
+        self, jobs: int, shards: list[tuple[int, int]]
+    ) -> VirtualRunResult:
+        """Epoch-synchronized process-parallel virtual run.
+
+        Ranks couple only at output-step barriers and the final
+        allreduce, and the shared OSS resource (capacity == nnodes,
+        one leader per node) never queues — so each *epoch* (the
+        ``plotgap`` steps ending at a barrier, plus the write of the
+        previous output on the node leader) of each shard is an
+        independent simulation. The parent replays the couplings
+        exactly: a barrier releases at ``max(arrivals)`` (the same
+        float max the serial engine computes), and an overlapped
+        leader resumes at ``max(barrier, previous write end)`` (the
+        serial ``Join`` semantics). Worker SIM-clock spans merge
+        verbatim into the parent tracer, so the Perfetto timeline is
+        span-identical to the serial run.
+        """
+        from repro import observe
+        from repro.gpu.proxy import grayscott_launch_cost, jit_compile_seconds
+        from repro.par import run_tasks, tracemerge
+
+        settings = self.settings
+        nranks, nnodes = self.nranks, self.placement.nnodes
+        tracer = self.tracer if self.tracer is not None else observe.active()
+        trace = tracer is not None
+        jitter = self._kernel_jitter()
+        scale_full = 1.0 + jitter
+        plotgap = settings.plotgap
+        output_steps = settings.steps // settings.plotgap
+
+        # epoch k = [write of output k-1 on each leader] + plotgap steps,
+        # ending at barrier k; the final segment is the write of the last
+        # output + the tail steps + the allreduce arrival
+        segments = []
+        for k in range(1, output_steps + 1):
+            segments.append({
+                "step_lo": (k - 1) * plotgap + 1,
+                "step_hi": k * plotgap,
+                "do_jit": k == 1,
+                "out_prev": k - 1 if k >= 2 else None,
+                "final": False,
+            })
+        segments.append({
+            "step_lo": output_steps * plotgap + 1,
+            "step_hi": settings.steps,
+            "do_jit": output_steps == 0,
+            "out_prev": output_steps if output_steps >= 1 else None,
+            "final": True,
+        })
+
+        leaders = {
+            self.placement.location(r).node: r for r in range(nranks - 1, -1, -1)
+        }
+        starts = np.zeros(nranks)
+        arrivals = np.empty(nranks)
+        write_ends: dict[int, float] = {}
+        comm_slices: list[np.ndarray | None] = [None] * len(shards)
+        total_events = 0
+        for seg in segments:
+            tasks = []
+            for s, (lo, hi) in enumerate(shards):
+                tasks.append({
+                    "settings": settings,
+                    "nranks": nranks,
+                    "overlap": self.overlap,
+                    "machine": self.machine,
+                    "trace": trace,
+                    "lo": lo,
+                    "hi": hi,
+                    "starts": starts[lo:hi].copy(),
+                    "scale": scale_full[lo:hi].copy(),
+                    "comm": comm_slices[s],
+                    "seg": seg,
+                })
+            outs = run_tasks(_virtual_segment_task, tasks, jobs=jobs, chunksize=1)
+            for s, ((lo, hi), out) in enumerate(zip(shards, outs)):
+                arrivals[lo:hi] = out["arrivals"]
+                write_ends.update(out["write_ends"])
+                if comm_slices[s] is None:
+                    comm_slices[s] = out["comm"]
+                total_events += out["events"]
+                if trace and out["spans"]:
+                    tracemerge.merge_spans(tracer, out["spans"])
+            barrier = float(arrivals.max())
+            if not seg["final"]:
+                starts[:] = barrier
+                if self.overlap:
+                    # Join(previous write): the leader resumes at the
+                    # later of the barrier and its node's drain finishing
+                    for node, leader in leaders.items():
+                        prev_end = write_ends.get(node)
+                        if prev_end is not None and prev_end > barrier:
+                            starts[leader] = prev_end
+
+        elapsed = float(arrivals.max())
+        comm = np.concatenate(comm_slices)
+        launch_cost = grayscott_launch_cost(self.local_shape, settings.backend)
+        checksum = sum(float(v) for v in scale_full)
+        if trace:
+            tracer.metrics.gauge(
+                "sched.events_processed", engine=f"virtual[{nranks}]"
+            ).set(total_events)
+        return VirtualRunResult(
+            nranks=nranks,
+            nnodes=nnodes,
+            steps=settings.steps,
+            output_steps=output_steps,
+            backend=settings.backend,
+            overlap=self.overlap,
+            elapsed_seconds=elapsed,
+            rank_finish_seconds=np.full(nranks, elapsed),
+            kernel_seconds_per_step=launch_cost.seconds,
+            comm_seconds_mean=float(comm.mean()),
+            jit_seconds=jit_compile_seconds(settings.backend),
+            events_processed=total_events,
+            collectives_per_rank=output_steps + 1,
+            results=[checksum] * nranks,
+        )
+
+    def _simulate_segment(self, payload: dict) -> dict:
+        """Simulate one epoch of one shard (runs inside a pool worker)."""
+        from repro.adios.fsmodel import LustreModel
+        from repro.gpu.proxy import VirtualGcd, grayscott_launch_cost
+        from repro.observe.trace import Tracer
+        from repro.sched import Delay, Engine, Join, UsePlan, use
+
+        settings = self.settings
+        lo, hi = payload["lo"], payload["hi"]
+        seg = payload["seg"]
+        overlap = self.overlap
+        nranks, nnodes = self.nranks, self.placement.nnodes
+        trace = payload["trace"]
+        tracer = Tracer() if trace else None
+        # mirror=False when untraced keeps the engine from picking up a
+        # pool-harness tracer via observe.active(); events_gauge=False
+        # because partial shard counts must not collide on the parent
+        # engine's gauge label after the merge
+        engine = Engine(
+            name=f"virtual[{nranks}]", tracer=tracer, mirror=trace,
+            events_gauge=False,
+        )
+        starts = payload["starts"]
+        scale = payload["scale"]
+        comm = payload["comm"]
+        sent_comm = comm is None
+        if comm is None:
+            comm = self._comm_slice(lo, hi)
+        lustre = LustreModel(self.machine, seed=settings.seed)
+        bytes_per_node = self._bytes_per_node()
+        oss = engine.resource(
+            "lustre-oss", capacity=nnodes, lane=("lustre-oss", "write")
+        )
+        launch_cost = grayscott_launch_cost(self.local_shape, settings.backend)
+        leaders: dict[int, int] = {}
+        for r in range(hi - 1, lo - 1, -1):
+            leaders[self.placement.location(r).node] = r
+        out_prev = seg["out_prev"]
+        writes: dict[int, object] = {}
+        arrivals = np.empty(hi - lo)
+
+        def program(idx, rank):
+            node = self.placement.location(rank).node
+            gcd = VirtualGcd(
+                engine, rank, shape=self.local_shape,
+                backend=settings.backend, machine=self.machine,
+                launch_cost=launch_cost,
+            )
+            nic = engine.resource(f"nic{rank}", lane=(f"vrank{rank}", "mpi"))
+            sc = float(scale[idx])
+            comm_s = float(comm[idx])
+            halo_plan = UsePlan(nic, comm_s, label="halo", cat="mpi")
+            halo_name = f"vrank{rank}.halo"
+            halo_lane = (f"vrank{rank}", "mpi")
+            start = float(starts[idx])
+            if start > 0.0:
+                # unlabeled, so the bridge to this rank's epoch start
+                # time is not mirrored; 0.0 + start == start exactly,
+                # so shard clocks land on the serial engine's floats
+                yield Delay(start)
+            if seg["do_jit"]:
+                yield from gcd.jit()
+            wproc = None
+            if out_prev is not None and leaders[node] == rank:
+                seconds = lustre.write_seconds_per_node(
+                    nnodes, bytes_per_node, sample=f"{out_prev}:{node}"
+                )
+                write = use(
+                    oss, seconds, label="bp5.write", cat="adios",
+                    args={"node": node, "output_step": out_prev},
+                )
+                if overlap:
+                    wproc = engine.spawn(
+                        f"node{node}.write{out_prev}", write,
+                        lane=(f"node{node}", "adios"),
+                    )
+                    writes[node] = wproc
+                else:
+                    yield from write
+            for _step in range(seg["step_lo"], seg["step_hi"] + 1):
+                if overlap:
+                    halo = engine.spawn(
+                        halo_name, halo_plan.use(), lane=halo_lane
+                    )
+                    yield from gcd.kernel(sc)
+                    yield Join(halo)
+                else:
+                    yield from gcd.kernel(sc)
+                    yield from halo_plan.use()
+            if seg["final"] and wproc is not None:
+                yield Join(wproc)
+            arrivals[idx] = engine.now
+
+        for idx, rank in enumerate(range(lo, hi)):
+            engine.spawn(
+                f"vrank{rank}", program(idx, rank), lane=(f"vrank{rank}", "core")
+            )
+        engine.run()
+        engine.check_quiescent()
+        return {
+            "arrivals": arrivals,
+            "write_ends": {
+                node: float(proc.finished_at) for node, proc in writes.items()
+            },
+            "comm": comm if sent_comm else None,
+            "spans": list(tracer.spans) if trace else None,
+            "events": engine.events_processed,
+        }
+
+
+def _virtual_segment_task(payload: dict) -> dict:
+    """Pool task: rebuild the workflow in the worker and run one segment."""
+    wf = VirtualWorkflow(
+        payload["settings"],
+        nranks=payload["nranks"],
+        overlap=payload["overlap"],
+        machine=payload["machine"],
+    )
+    return wf._simulate_segment(payload)

@@ -186,20 +186,45 @@ class _VectorLruState:
         self.tags = np.full((S, A), -1, dtype=np.int64)
         self.age = np.full((S, A), self._empty_age, dtype=np.int64)
         self.round = 0
-        for s, resident in enumerate(sim._sets):
-            for w, line in enumerate(resident):  # iterates LRU -> MRU
-                self.tags[s, w] = line
-                self.age[s, w] = w - len(resident)  # strictly < round 0
+        # misses == 0 means no line was ever inserted: every set is
+        # empty and the import is a no-op (the fresh-simulator fast path)
+        if sim.misses == 0:
+            return
+        lens = np.fromiter(
+            (len(resident) for resident in sim._sets), dtype=np.int64, count=S
+        )
+        total = int(lens.sum())
+        if total == 0:
+            return
+        # flatten every set's LRU->MRU order once, then scatter: way w
+        # of set s gets imported age w - len(set), strictly < round 0
+        flat = np.fromiter(
+            (line for resident in sim._sets for line in resident),
+            dtype=np.int64,
+            count=total,
+        )
+        rows = np.repeat(np.arange(S, dtype=np.int64), lens)
+        starts = np.concatenate(([0], np.cumsum(lens[:-1])))
+        cols = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+        self.tags[rows, cols] = flat
+        self.age[rows, cols] = cols - lens[rows]
 
-    def export(self, sim: "TraceCacheSim") -> None:
+    def materialize(self, sim: "TraceCacheSim") -> None:
         """Write the dense state back as LRU-ordered ``OrderedDict``s."""
+        A = self.tags.shape[1]
         order = np.argsort(self.age, axis=1, kind="stable")
-        for s in range(self.tags.shape[0]):
-            resident: OrderedDict = OrderedDict()
-            for w in order[s]:
-                if self.age[s, w] != self._empty_age:
-                    resident[int(self.tags[s, w])] = True
-            sim._sets[s] = resident
+        sorted_tags = np.take_along_axis(self.tags, order, axis=1)
+        sorted_age = np.take_along_axis(self.age, order, axis=1)
+        # empty ways carry the minimum age, so they sort first and the
+        # resident lines are each row's last ``n`` entries, LRU -> MRU
+        counts = (sorted_age != self._empty_age).sum(axis=1)
+        sets = sim._sets
+        for s, n in enumerate(counts):
+            if n:
+                row = sorted_tags[s, A - n:]
+                sets[s] = OrderedDict((int(line), True) for line in row)
+            else:
+                sets[s] = OrderedDict()
 
 
 class _VectorSweepUnsupported(Exception):
@@ -245,12 +270,24 @@ class TraceCacheSim:
         self.num_sets = capacity_bytes // (line_bytes * associativity)
         self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
         self._geom: tuple[int, int, int, int, int, int] | None = None
+        #: dense LRU state retained between consecutive vector sweeps so
+        #: the per-set import/export loops are skipped entirely; the
+        #: scalar paths materialize it back into ``_sets`` on demand
+        self._dense: _VectorLruState | None = None
         self.hits = 0
         self.misses = 0
         self.load_misses = 0
 
+    def _materialize(self) -> None:
+        """Flush retained dense LRU state back into the per-set dicts."""
+        state, self._dense = self._dense, None
+        if state is not None:
+            state.materialize(self)
+
     def access(self, line: int, *, is_load: bool = True) -> bool:
         """Probe one cache line; returns True on hit."""
+        if self._dense is not None:
+            self._materialize()
         target = self._sets[line % self.num_sets]
         if line in target:
             target.move_to_end(line)
@@ -412,6 +449,8 @@ class TraceCacheSim:
         radius: int,
     ) -> None:
         """The original per-access triple loop (bit-exact reference)."""
+        if self._dense is not None:
+            self._materialize()
         n0, n1, n2 = shape
         stride0 = itemsize
         stride1 = n0 * itemsize
@@ -484,7 +523,8 @@ class TraceCacheSim:
         planes_per_chunk = 1 << (31 - be - bt - bu)
         self._geom = (s0, s1, s2, be, bt, bu)
 
-        state = _VectorLruState(self)
+        state = self._dense if self._dense is not None else _VectorLruState(self)
+        self._dense = None
         row_u = np.arange(nj, dtype=np.int64)
         u_col = (row_u << (bt + be))[:, None]
         t_full = np.arange(ni, dtype=np.int64)
@@ -546,7 +586,9 @@ class TraceCacheSim:
             if pending_n >= chunk_target:
                 flush(k + 1)
         flush(nk)
-        state.export(self)
+        # retain the dense state: a consecutive vector sweep resumes it
+        # directly, and scalar paths materialize it lazily on first use
+        self._dense = state
         self.hits += extra_hits
         self._geom = None
 
@@ -665,3 +707,61 @@ def _run_skip_is_exact(
 def seven_point_offsets() -> set[tuple[int, int, int]]:
     """The paper's 7-point Laplacian stencil offsets (Eq. 3)."""
     return set(_SEVEN_POINT)
+
+
+# ---------------------------------------------------------------------------
+# grid sweeps (Table 2/3-style campaigns), optionally process-parallel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One independent (shape, access-set) cell of a cache sweep grid."""
+
+    shape: tuple[int, int, int]
+    itemsize: int
+    loads_by_array: dict
+    stores_by_array: dict
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 16
+    engine: str = "auto"
+
+
+@dataclass(frozen=True)
+class SweepCellResult:
+    """A :class:`SweepCase`'s traffic estimate plus raw TCC counters."""
+
+    case: SweepCase
+    estimate: TrafficEstimate
+    hits: int
+    misses: int
+    load_misses: int
+
+
+def run_sweep_case(case: SweepCase) -> SweepCellResult:
+    """Simulate one grid cell on a fresh simulator (picklable task fn)."""
+    sim = TraceCacheSim(
+        case.capacity_bytes, case.line_bytes, case.associativity
+    )
+    estimate = sim.multi_sweep(
+        case.shape, case.itemsize, case.loads_by_array,
+        case.stores_by_array, engine=case.engine,
+    )
+    return SweepCellResult(case, estimate, sim.hits, sim.misses, sim.load_misses)
+
+
+def sweep_grid(cases, *, jobs: int = 1) -> list[SweepCellResult]:
+    """Simulate every cell of a sweep grid, optionally process-parallel.
+
+    Each cell gets a fresh simulator, so cells are independent and the
+    grid fans out over a :func:`repro.par.run_tasks` pool at ``jobs >
+    1``; results come back in input order and are bit-identical to a
+    serial evaluation (``jobs=0`` means one worker per core).
+    """
+    case_list = list(cases)
+    if jobs == 1:
+        return [run_sweep_case(case) for case in case_list]
+    from repro.par import run_tasks
+
+    return run_tasks(run_sweep_case, case_list, jobs=jobs, chunksize=1)

@@ -324,8 +324,14 @@ class WeakScalingModel:
             overlap=self.overlap,
         )
 
-    def run(self, nranks_list=None) -> list[WeakScalingPoint]:
-        """The paper's factor-of-8 job-size ladder (Section 4.1)."""
+    def run(self, nranks_list=None, *, jobs: int = 1) -> list[WeakScalingPoint]:
+        """The paper's factor-of-8 job-size ladder (Section 4.1).
+
+        ``jobs > 1`` runs the ladder points on a process pool (the model
+        instance is picklable, so ``run_point`` ships to spawn-context
+        workers too); results are merged in ladder order and are
+        bit-identical to a serial run.
+        """
         from repro.bench.sweep import run_ladder
 
-        return run_ladder(self.run_point, nranks_list)
+        return run_ladder(self.run_point, nranks_list, jobs=jobs)

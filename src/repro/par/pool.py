@@ -1,0 +1,207 @@
+"""A spawn-safe process pool with deterministic result merging.
+
+:func:`run_tasks` is the package's one parallel primitive: evaluate
+``fn`` over a task list on ``jobs`` worker processes and return the
+results **ordered by task index** — never by completion order — so
+every caller's downstream reduction (rank-ordered sums, golden-file
+renders, trace multisets) is bit-identical to a serial run. ``jobs=1``
+is a plain list comprehension in the calling process: the parallel path
+is opt-in and the serial path is untouched.
+
+Scheduling is chunked work-stealing: the task list is cut into chunks
+on a shared queue and idle workers pull the next chunk, so a straggler
+config (a 4,096-rank ladder point next to a 1-rank point) does not
+serialize the sweep. Large NumPy results return through
+:mod:`repro.par.shm` shared-memory segments instead of the result pipe;
+everything else rides pickle.
+
+Workers default to the ``fork`` start method where available (task
+functions may then be closures). "Spawn-safe" means the pool itself
+never requires fork: pass ``context="spawn"`` and any *picklable*
+task function — every hot-path task function in this package is
+module-level or a bound method of a picklable model — and the pool
+behaves identically.
+
+When an :mod:`repro.observe` tracer is active in the parent, each
+worker records its own private tracer (one wall span per task) and the
+pool merges the captures back: per-worker wall lanes land under a
+``par.w<N>`` PID prefix, modeled SIM spans merge verbatim, metrics fold
+with counter/gauge/histogram semantics. See ``docs/PARALLEL.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import traceback
+from typing import Callable, Iterable, Sequence
+
+from repro.observe import trace as observe
+from repro.par import shm, tracemerge
+from repro.util.errors import ParError
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means every core, ``None`` 1."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ParError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def default_chunksize(ntasks: int, jobs: int) -> int:
+    """~4 chunks per worker: fine enough to steal, coarse enough to amortize."""
+    return max(1, -(-ntasks // (jobs * 4)))
+
+
+def _worker_main(worker_id, fn, task_q, result_q, capture):
+    # A forked worker inherits the parent's installed tracer object;
+    # recording into that copy would be silently discarded. Detach it
+    # and (when the parent is tracing) install a private one whose
+    # capture ships back with the results.
+    observe.deactivate()
+    tracer = None
+    if capture:
+        tracer = observe.activate(observe.Tracer())
+    try:
+        while True:
+            chunk = task_q.get()
+            if chunk is None:
+                break
+            out = []
+            for index, task in chunk:
+                try:
+                    if tracer is not None:
+                        with tracer.span(
+                            f"task[{index}]", cat="core",
+                            process="pool", thread="tasks",
+                        ):
+                            value = fn(task)
+                    else:
+                        value = fn(task)
+                    out.append((index, True, shm.encode(value)))
+                except Exception:
+                    out.append((index, False, traceback.format_exc()))
+            result_q.put(("chunk", worker_id, out))
+    finally:
+        captured = None
+        if tracer is not None:
+            observe.deactivate()
+            captured = tracemerge.capture(tracer)
+        result_q.put(("done", worker_id, captured))
+
+
+def run_tasks(
+    fn: Callable,
+    tasks: Iterable,
+    *,
+    jobs: int | None = 1,
+    chunksize: int | None = None,
+    context: str | None = None,
+) -> list:
+    """Evaluate ``fn`` over ``tasks`` on ``jobs`` processes, in order.
+
+    Returns ``[fn(t) for t in tasks]`` — same values, same order — with
+    the work spread over a process pool when ``jobs > 1``. ``jobs=0``
+    means ``os.cpu_count()``. The serial path (``jobs<=1`` or fewer
+    than two tasks) runs inline with zero pool machinery.
+    """
+    task_list: Sequence = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(task_list) <= 1:
+        return [fn(task) for task in task_list]
+    jobs = min(jobs, len(task_list))
+    if chunksize is None:
+        chunksize = default_chunksize(len(task_list), jobs)
+
+    tracer = observe.active()
+    if tracer is None:
+        return _run_pool(fn, task_list, jobs, chunksize, context, None)
+    with tracer.span(
+        "par.run_tasks", cat="core", process="par", thread="pool",
+        args={"tasks": len(task_list), "jobs": jobs, "chunksize": chunksize},
+    ):
+        return _run_pool(fn, task_list, jobs, chunksize, context, tracer)
+
+
+def _run_pool(fn, task_list, jobs, chunksize, context, tracer):
+    if context is None:
+        methods = multiprocessing.get_all_start_methods()
+        context = "fork" if "fork" in methods else methods[0]
+    ctx = multiprocessing.get_context(context)
+    task_q = ctx.Queue()
+    result_q = ctx.Queue()
+    indexed = list(enumerate(task_list))
+    for start in range(0, len(indexed), chunksize):
+        task_q.put(indexed[start:start + chunksize])
+    for _ in range(jobs):
+        task_q.put(None)
+
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(w, fn, task_q, result_q, tracer is not None),
+            daemon=True,
+        )
+        for w in range(jobs)
+    ]
+    for proc in workers:
+        proc.start()
+
+    results: dict[int, object] = {}
+    failures: list[tuple[int, str]] = []
+    done = [False] * jobs
+    try:
+        while not all(done):
+            try:
+                msg = result_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                _check_workers_alive(workers, done)
+                continue
+            kind = msg[0]
+            if kind == "chunk":
+                for index, ok, payload in msg[2]:
+                    if ok:
+                        results[index] = payload
+                    else:
+                        failures.append((index, payload))
+            elif kind == "done":
+                done[msg[1]] = True
+                if msg[2] is not None and tracer is not None:
+                    tracemerge.merge_capture(tracer, msg[2], worker=msg[1])
+        for proc in workers:
+            proc.join()
+    except BaseException:
+        for encoded in results.values():
+            shm.discard(encoded)
+        raise
+    finally:
+        for proc in workers:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    if failures:
+        for encoded in results.values():
+            shm.discard(encoded)
+        failures.sort()
+        index, tb = failures[0]
+        more = f" (+{len(failures) - 1} more)" if len(failures) > 1 else ""
+        raise ParError(
+            f"task {index} raised in a worker{more}:\n{tb.rstrip()}"
+        )
+    return [shm.decode(results[i]) for i in range(len(task_list))]
+
+
+def _check_workers_alive(workers, done) -> None:
+    for w, proc in enumerate(workers):
+        if not done[w] and not proc.is_alive() and proc.exitcode != 0:
+            raise ParError(
+                f"pool worker {w} died with exit code {proc.exitcode} "
+                "before finishing its tasks"
+            )

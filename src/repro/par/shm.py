@@ -1,0 +1,168 @@
+"""Shared-memory zero-copy transport for NumPy payloads.
+
+The worker pool ships task results back to the parent through a pipe.
+Pickling a large ``ndarray`` copies it twice (serialize + deserialize)
+and pushes every byte through the pipe; for the fan-out hot paths the
+payloads are exactly such arrays (rank-time vectors, arrival arrays).
+:func:`encode` walks a result object and moves every C/F-contiguous
+array of at least :data:`SHM_THRESHOLD` bytes into a
+``multiprocessing.shared_memory`` segment, leaving a small
+:class:`ShmRef` token in its place; only the token rides the pipe.
+:func:`decode` reattaches the segment on the other side and rebuilds
+the array.
+
+Handoff protocol (one segment, one producer, one consumer):
+
+- the producer creates + fills the segment, closes its local mapping,
+  and *unregisters* it from its own ``resource_tracker`` so the segment
+  survives the producer process exiting before the consumer attaches;
+- the consumer attaches, copies the payload out (or wraps it when
+  ``copy=False``), then unlinks the segment. Unlink-after-attach means
+  the name disappears immediately but the memory lives until the last
+  mapping closes, so a crashed consumer cannot leak named segments that
+  outlive the run.
+
+Arrays below the threshold (and every non-array object) ride plain
+pickle: the fixed ~µs cost of creating and mmap()ing a segment only
+pays for itself on bulk payloads.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.util.errors import ParError
+
+#: below this many bytes an array rides pickle, not shared memory
+SHM_THRESHOLD = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Pickle-sized token standing in for an array left in shared memory."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    order: str  # "C" or "F"
+
+
+def _unregister(name: str) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    Without this, the *creator's* tracker unlinks the segment when the
+    creator exits — racing the consumer that has not attached yet.
+    """
+    try:
+        resource_tracker.unregister(f"/{name.lstrip('/')}", "shared_memory")
+    except Exception:
+        pass  # tracker already clean (or platform tracks differently)
+
+
+def share_array(arr: np.ndarray) -> ShmRef:
+    """Move one array into a fresh shared-memory segment."""
+    order = "F" if (arr.flags.f_contiguous and not arr.flags.c_contiguous) else "C"
+    contig = np.ascontiguousarray(arr) if order == "C" else np.asfortranarray(arr)
+    seg = shared_memory.SharedMemory(create=True, size=max(1, contig.nbytes))
+    try:
+        dst = np.ndarray(contig.shape, dtype=contig.dtype, buffer=seg.buf, order=order)
+        dst[...] = contig
+        ref = ShmRef(seg.name, tuple(contig.shape), contig.dtype.str, order)
+    finally:
+        seg.close()
+    _unregister(seg.name)
+    return ref
+
+
+def fetch_array(ref: ShmRef, *, copy: bool = True) -> np.ndarray:
+    """Rebuild the array behind a :class:`ShmRef` and unlink the segment.
+
+    ``copy=False`` returns a view backed by the (now-anonymous) mapping;
+    the mapping is closed when the array is garbage collected.
+    """
+    try:
+        seg = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError as exc:
+        raise ParError(
+            f"shared-memory segment {ref.name!r} vanished before the "
+            "consumer attached (double decode?)"
+        ) from exc
+    try:
+        src = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf,
+                         order=ref.order)
+        if copy:
+            out = src.copy(order=ref.order)
+        else:
+            out = src
+            weakref.finalize(out, seg.close)
+    finally:
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        if copy:
+            seg.close()
+    return out
+
+
+def discard(obj) -> None:
+    """Unlink every segment referenced by an (undecoded) encoded object."""
+    for ref in _iter_refs(obj):
+        try:
+            seg = shared_memory.SharedMemory(name=ref.name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _iter_refs(obj):
+    if isinstance(obj, ShmRef):
+        yield obj
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            yield from _iter_refs(item)
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            yield from _iter_refs(item)
+
+
+def encode(obj, *, threshold: int = SHM_THRESHOLD):
+    """Replace large arrays inside ``obj`` with :class:`ShmRef` tokens.
+
+    Recurses through lists, tuples, and dict *values*; anything else —
+    including dataclasses holding arrays — passes through untouched and
+    rides pickle. Hot-path task functions that return big arrays should
+    return them at the container level, not buried in objects.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes >= threshold and obj.dtype != object:
+            return share_array(obj)
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(encode(item, threshold=threshold) for item in obj)
+    if isinstance(obj, list):
+        return [encode(item, threshold=threshold) for item in obj]
+    if isinstance(obj, dict):
+        return {k: encode(v, threshold=threshold) for k, v in obj.items()}
+    return obj
+
+
+def decode(obj, *, copy: bool = True):
+    """Inverse of :func:`encode`: resolve tokens back into arrays."""
+    if isinstance(obj, ShmRef):
+        return fetch_array(obj, copy=copy)
+    if isinstance(obj, tuple):
+        return tuple(decode(item, copy=copy) for item in obj)
+    if isinstance(obj, list):
+        return [decode(item, copy=copy) for item in obj]
+    if isinstance(obj, dict):
+        return {k: decode(v, copy=copy) for k, v in obj.items()}
+    return obj

@@ -1,0 +1,97 @@
+"""Merging per-worker observability capture into the parent tracer.
+
+Each pool worker runs with its own private :class:`~repro.observe.trace.Tracer`
+(the registry objects hold locks and cannot cross a pickle boundary, so
+the worker ships plain data: its ``SpanRecord`` list and a metrics
+snapshot). The parent folds them back in:
+
+- **SIM-clock spans** merge verbatim. Modeled timelines are worker-count
+  invariant by construction (every duration is a pure function of the
+  seed), so the merged multiset is identical to a serial run's.
+- **WALL-clock spans** are real measurements of *that worker process*;
+  their ``process`` label is remapped to ``par.w<N>.<process>`` so the
+  Perfetto export gives every worker its own PID group of lanes instead
+  of interleaving unrelated wall clocks in one lane.
+- **metrics** merge with the registry's usual semantics: counters add,
+  gauges keep the last set value, histograms pool samples.
+"""
+
+from __future__ import annotations
+
+from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.trace import SIM, SpanRecord, Tracer
+
+
+def capture(tracer: Tracer) -> tuple[list[SpanRecord], list[dict]]:
+    """A picklable snapshot of one worker's tracer (spans + metrics)."""
+    return list(tracer.spans), snapshot_metrics(tracer.metrics)
+
+
+def snapshot_metrics(registry: MetricsRegistry) -> list[dict]:
+    """Flatten a registry into picklable primitives."""
+    out = []
+    for metric in registry.all_metrics():
+        entry = {"name": metric.name, "labels": dict(metric.labels)}
+        if isinstance(metric, Counter):
+            entry["kind"] = "counter"
+            entry["value"] = metric.value
+        elif isinstance(metric, Gauge):
+            entry["kind"] = "gauge"
+            entry["value"] = metric.value
+        elif isinstance(metric, Histogram):
+            entry["kind"] = "histogram"
+            entry["samples"] = list(metric.samples)
+        out.append(entry)
+    return out
+
+
+def merge_metrics(registry: MetricsRegistry, snapshot: list[dict]) -> None:
+    """Fold a worker's metrics snapshot into the parent registry."""
+    for entry in snapshot:
+        labels = entry["labels"]
+        if entry["kind"] == "counter":
+            registry.counter(entry["name"], **labels).inc(entry["value"])
+        elif entry["kind"] == "gauge":
+            if entry["value"] is not None:
+                registry.gauge(entry["name"], **labels).set(entry["value"])
+        elif entry["kind"] == "histogram":
+            registry.histogram(entry["name"], **labels).samples.extend(
+                entry["samples"]
+            )
+
+
+def merge_spans(
+    tracer: Tracer, spans: list[SpanRecord], *, worker: int | None = None
+) -> None:
+    """Re-record a worker's spans on the parent tracer.
+
+    SIM spans keep their lanes (modeled time shares one timeline);
+    WALL spans get the per-worker ``par.w<N>.`` process prefix.
+    """
+    for record in spans:
+        process = record.process
+        if worker is not None and record.clock != SIM:
+            process = f"par.w{worker}.{process}"
+        tracer.add_span(
+            record.name,
+            cat=record.cat,
+            clock=record.clock,
+            process=process,
+            thread=record.thread,
+            start=record.start,
+            seconds=record.seconds,
+            args=dict(record.args),
+            ph=record.ph,
+        )
+
+
+def merge_capture(
+    tracer: Tracer,
+    captured: tuple[list[SpanRecord], list[dict]],
+    *,
+    worker: int | None = None,
+) -> None:
+    """Merge one worker's :func:`capture` payload into the parent."""
+    spans, metrics = captured
+    merge_spans(tracer, spans, worker=worker)
+    merge_metrics(tracer.metrics, metrics)

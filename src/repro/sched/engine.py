@@ -448,11 +448,16 @@ class Engine:
         clock: SimClock | None = None,
         tracer: observe.Tracer | None = None,
         mirror: bool = True,
+        events_gauge: bool = True,
     ):
         self.name = name
         self.clock = clock if clock is not None else SimClock()
         self.tracer = tracer
         self.mirror = mirror
+        #: shard engines of a process-parallel run disable the
+        #: events-processed gauge: their partial counts would collide
+        #: on the parent engine's label after the trace merge
+        self.events_gauge = events_gauge
         self.events_processed = 0
         self.spans_mirrored = 0
         self._queue: list[tuple[float, int, Callable, object]] = []
@@ -598,7 +603,7 @@ class Engine:
                 gc.enable()
             self.events_processed += events
         tracer = self._tracer()
-        if tracer is not None:
+        if tracer is not None and self.events_gauge:
             tracer.metrics.gauge(
                 "sched.events_processed", engine=self.name
             ).set(self.events_processed)

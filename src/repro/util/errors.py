@@ -91,6 +91,15 @@ class SchedError(ReproError):
     """
 
 
+class ParError(ReproError):
+    """Base class for errors raised by the process-parallel layer.
+
+    Raised for pool configuration mistakes (negative ``jobs``), worker
+    crashes (the first failing task's traceback is carried in the
+    message), and shared-memory transport faults.
+    """
+
+
 class GpuError(ReproError):
     """Base class for errors raised by the GPU simulator."""
 

@@ -21,7 +21,10 @@ from repro.bench.perfsuite import (
     to_json,
 )
 
-CASE_NAMES = {"cache_sweep", "jit_trace_memo", "pack_unpack", "sched_engine"}
+CASE_NAMES = {
+    "cache_sweep", "jit_trace_memo", "pack_unpack",
+    "io_bp5", "par_speedup", "sched_engine",
+}
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,88 @@
+"""Shared-memory transport: round-trips, thresholds, cleanup."""
+
+import numpy as np
+import pytest
+
+from repro.par import shm
+from repro.util.errors import ParError
+
+
+class TestShareFetch:
+    def test_roundtrip_c_order(self):
+        arr = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        out = shm.fetch_array(shm.share_array(arr))
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+        assert out.flags.c_contiguous
+
+    def test_roundtrip_f_order(self):
+        arr = np.asfortranarray(np.arange(12, dtype=np.int32).reshape(3, 4))
+        ref = shm.share_array(arr)
+        assert ref.order == "F"
+        out = shm.fetch_array(ref)
+        np.testing.assert_array_equal(out, arr)
+        assert out.flags.f_contiguous
+
+    def test_roundtrip_empty_and_scalar(self):
+        for arr in (np.empty(0), np.ones(()) * 3.5):
+            out = shm.fetch_array(shm.share_array(arr))
+            np.testing.assert_array_equal(out, arr)
+
+    def test_noncontiguous_input_copied(self):
+        arr = np.arange(100.0).reshape(10, 10)[::2, ::3]
+        out = shm.fetch_array(shm.share_array(arr))
+        np.testing.assert_array_equal(out, arr)
+
+    def test_segment_unlinked_after_fetch(self):
+        ref = shm.share_array(np.ones(8))
+        shm.fetch_array(ref)
+        with pytest.raises(ParError):
+            shm.fetch_array(ref)
+
+    def test_zero_copy_fetch_keeps_segment_alive(self):
+        ref = shm.share_array(np.arange(10.0))
+        out = shm.fetch_array(ref, copy=False)
+        np.testing.assert_array_equal(out, np.arange(10.0))
+        # segment stays mapped while `out` is alive; dropping it frees
+        del out
+
+    def test_discard_releases_unfetched(self):
+        ref = shm.share_array(np.ones(4))
+        shm.discard(ref)
+        with pytest.raises(ParError):
+            shm.fetch_array(ref)
+
+
+class TestEncodeDecode:
+    def test_small_arrays_pass_through(self):
+        arr = np.ones(4)
+        enc = shm.encode(arr)
+        assert enc is arr  # below threshold: plain pickle path
+
+    def test_large_arrays_become_refs(self):
+        arr = np.zeros(shm.SHM_THRESHOLD, dtype=np.uint8)
+        enc = shm.encode(arr)
+        assert isinstance(enc, shm.ShmRef)
+        np.testing.assert_array_equal(shm.decode(enc), arr)
+
+    def test_nested_containers(self):
+        big = np.arange(20_000, dtype=np.float64)
+        obj = {"a": [big, 1, "x"], "b": (big * 2, {"c": big + 1})}
+        enc = shm.encode(obj, threshold=1024)
+        assert isinstance(enc["a"][0], shm.ShmRef)
+        dec = shm.decode(enc)
+        np.testing.assert_array_equal(dec["a"][0], big)
+        np.testing.assert_array_equal(dec["b"][0], big * 2)
+        np.testing.assert_array_equal(dec["b"][1]["c"], big + 1)
+        assert dec["a"][1:] == [1, "x"]
+
+    def test_object_dtype_not_shared(self):
+        arr = np.array([None] * 100_000, dtype=object)
+        assert shm.encode(arr) is arr
+
+    def test_discard_recurses(self):
+        big = np.arange(20_000, dtype=np.float64)
+        enc = shm.encode({"a": [big]}, threshold=1024)
+        shm.discard(enc)
+        with pytest.raises(ParError):
+            shm.fetch_array(enc["a"][0])

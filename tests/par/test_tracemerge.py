@@ -1,0 +1,76 @@
+"""Trace/metrics merge semantics of the pool capture path."""
+
+from repro.observe.trace import SIM, WALL, Tracer
+from repro.par import tracemerge
+
+
+def _worker_tracer():
+    tracer = Tracer()
+    tracer.add_span(
+        "kernel", cat="gpu", clock=SIM, process="vrank0", thread="core",
+        start=1.0, seconds=2.0, args={"step": 1},
+    )
+    tracer.add_span(
+        "task[0]", cat="core", clock=WALL, process="pool", thread="tasks",
+        start=0.5, seconds=0.25,
+    )
+    tracer.metrics.counter("work.items").inc(3)
+    tracer.metrics.gauge("last.value").set(7.5)
+    tracer.metrics.histogram("lat.seconds").observe(0.125)
+    return tracer
+
+
+class TestCaptureRoundtrip:
+    def test_capture_is_plain_data(self):
+        import pickle
+
+        captured = tracemerge.capture(_worker_tracer())
+        pickle.loads(pickle.dumps(captured))  # must cross the pipe
+
+    def test_sim_spans_merge_verbatim(self):
+        parent = Tracer()
+        tracemerge.merge_capture(parent, tracemerge.capture(_worker_tracer()),
+                                 worker=3)
+        (sim,) = [s for s in parent.spans if s.clock == SIM]
+        assert (sim.process, sim.thread) == ("vrank0", "core")
+        assert (sim.start, sim.seconds) == (1.0, 2.0)
+        assert dict(sim.args) == {"step": 1}
+
+    def test_wall_spans_get_worker_prefix(self):
+        parent = Tracer()
+        tracemerge.merge_capture(parent, tracemerge.capture(_worker_tracer()),
+                                 worker=3)
+        (wall,) = [s for s in parent.spans if s.clock == WALL]
+        assert wall.process == "par.w3.pool"
+        assert wall.name == "task[0]"
+
+    def test_no_worker_means_no_remap(self):
+        parent = Tracer()
+        spans, _ = tracemerge.capture(_worker_tracer())
+        tracemerge.merge_spans(parent, spans)
+        assert {s.process for s in parent.spans} == {"vrank0", "pool"}
+
+
+class TestMetricsMerge:
+    def test_counters_add_across_workers(self):
+        parent = Tracer()
+        snap = tracemerge.snapshot_metrics(_worker_tracer().metrics)
+        tracemerge.merge_metrics(parent.metrics, snap)
+        tracemerge.merge_metrics(parent.metrics, snap)
+        assert parent.metrics.counter("work.items").value == 6
+
+    def test_gauges_keep_last(self):
+        parent = Tracer()
+        parent.metrics.gauge("last.value").set(1.0)
+        snap = tracemerge.snapshot_metrics(_worker_tracer().metrics)
+        tracemerge.merge_metrics(parent.metrics, snap)
+        assert parent.metrics.gauge("last.value").value == 7.5
+
+    def test_histograms_pool_samples(self):
+        parent = Tracer()
+        parent.metrics.histogram("lat.seconds").observe(1.0)
+        snap = tracemerge.snapshot_metrics(_worker_tracer().metrics)
+        tracemerge.merge_metrics(parent.metrics, snap)
+        assert sorted(parent.metrics.histogram("lat.seconds").samples) == [
+            0.125, 1.0,
+        ]

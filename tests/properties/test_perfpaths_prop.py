@@ -58,6 +58,30 @@ class TestCacheSweepEngines:
             ref.hits, ref.misses, ref.load_misses
         )
 
+    @given(sweep_case(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_lazy_retention_survives_interleaving(self, case, seed):
+        # consecutive vector sweeps keep the LRU state dense between
+        # calls; scalar accesses in between force a materialization.
+        # Any interleaving must land on exactly the scalar engine's
+        # counters and final cache contents.
+        shape, itemsize, loads, stores, capacity = case
+        rng = np.random.default_rng(seed)
+        vec = TraceCacheSim(capacity)
+        ref = TraceCacheSim(capacity)
+        for round_ in range(3):
+            vec.multi_sweep(shape, itemsize, loads, stores, engine="vector")
+            ref.multi_sweep(shape, itemsize, loads, stores, engine="scalar")
+            if round_ < 2:
+                lines = rng.integers(0, 4 * vec.num_sets, size=5)
+                for line in lines:
+                    assert vec.access(int(line)) == ref.access(int(line))
+        assert (vec.hits, vec.misses, vec.load_misses) == (
+            ref.hits, ref.misses, ref.load_misses
+        )
+        vec._materialize()  # flush the retained dense state
+        assert [list(s) for s in vec._sets] == [list(s) for s in ref._sets]
+
     @given(sweep_case())
     @settings(max_examples=20, deadline=None)
     def test_single_sweep_engines_match(self, case):
