@@ -11,6 +11,10 @@ Commands:
   ranks, no threads);
 - ``trace <trace.json>`` — summarize a trace written by
   ``run --trace-out`` (per-category totals, lanes, ASCII timeline);
+- ``observe <tail|summary|merge-shards|flamegraph>`` — work with
+  *streamed* telemetry (:mod:`repro.observe.stream`): tail the last
+  spans of a shard stream, summarize it, merge shards back into one
+  Chrome JSON, or render a sim-profiler folded profile;
 - ``lint <settings.json>`` — statically analyze the run the settings
   describe (kernel bounds/races/type stability, exchange-plan deadlock
   and matching, ADIOS step protocol and coverage) without executing it;
@@ -32,6 +36,79 @@ import argparse
 import sys
 
 
+def _trace_mode(path: str) -> str:
+    """How ``--trace-out`` should write: streamed or monolithic.
+
+    A ``.jsonl`` suffix streams to a single JSONL shard; a directory —
+    existing, trailing-separator, or suffixless — streams rotating
+    shards plus a manifest; anything else is the monolithic Chrome
+    JSON dump.
+    """
+    import os
+    from pathlib import Path
+
+    p = Path(path)
+    if p.suffix == ".jsonl":
+        return "jsonl"
+    if p.is_dir() or path.endswith(os.sep) or p.suffix == "":
+        return "dir"
+    return "mono"
+
+
+def _probe_trace_out(path: str, mode: str) -> str | None:
+    """An error message if ``--trace-out`` cannot be written, else None.
+
+    Probed before the run starts, so an unwritable destination fails in
+    seconds instead of after the workflow has finished (the old
+    behavior: the exit-time dump raised with the whole run already
+    spent).
+    """
+    import os
+    from pathlib import Path
+
+    p = Path(path)
+    if mode == "dir":
+        try:
+            p.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            return f"cannot create trace directory {p}: {exc}"
+        if not os.access(p, os.W_OK):
+            return f"trace directory {p} is not writable"
+        return None
+    parent = p.parent if str(p.parent) else Path(".")
+    if not parent.is_dir():
+        return (
+            f"trace output directory {parent} does not exist "
+            f"(cannot write {p})"
+        )
+    if not os.access(parent, os.W_OK):
+        return f"trace output directory {parent} is not writable"
+    if p.exists() and not os.access(p, os.W_OK):
+        return f"trace output {p} is not writable"
+    return None
+
+
+def _streaming_tracer(trace_out: str):
+    """A retain-nothing tracer streaming to ``trace_out`` shards."""
+    from repro.observe.stream import ShardedPerfettoWriter
+    from repro.observe.trace import Tracer
+
+    writer = ShardedPerfettoWriter(trace_out)
+    return Tracer(sinks=[writer], retain=False), writer
+
+
+def _finish_stream(tracer, writer, trace_out: str) -> None:
+    tracer.close()
+    kind = (
+        "shard" if writer.single_file
+        else f"shards in {trace_out.rstrip('/')}/"
+    )
+    print(
+        f"streamed {writer.total_spans} spans to {writer.target} ({kind}; "
+        f"merge with 'grayscott observe merge-shards {trace_out}')"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.settings import GrayScottSettings
     from repro.core.workflow import Workflow
@@ -42,8 +119,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         settings = settings.with_overrides(ranks=args.ranks)
     nranks = settings.ranks
 
+    trace_mode = _trace_mode(args.trace_out) if args.trace_out else None
+    if args.trace_out:
+        problem = _probe_trace_out(args.trace_out, trace_mode)
+        if problem is not None:
+            print(f"grayscott: {problem}", file=sys.stderr)
+            return 2
+
     if args.virtual_ranks is not None:
-        return _run_virtual(args, settings)
+        return _run_virtual(args, settings, trace_mode)
+    if args.sim_profile:
+        print("grayscott: --sim-profile requires --virtual-ranks",
+              file=sys.stderr)
+        return 2
     if args.overlap:
         print("grayscott: --overlap requires --virtual-ranks", file=sys.stderr)
         return 2
@@ -80,10 +168,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return run_spmd(run_one, nranks, collect_stats=tracing)[0]
         return run_one()
 
+    stream_writer = None
     if tracing:
-        with observe.session() as tracer:
+        if args.trace_out and trace_mode != "mono":
+            session_tracer, stream_writer = _streaming_tracer(args.trace_out)
+        else:
+            session_tracer = None
+        with observe.session(session_tracer) as tracer:
             report, wall = execute()
-            if args.trace_out:
+            if args.trace_out and stream_writer is None:
                 from repro.observe.export import write_chrome_trace
 
                 write_chrome_trace(tracer, args.trace_out)
@@ -99,7 +192,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         profiler.report().write_csv(args.trace)
         print(f"rocprof-style trace written to {args.trace}")
-    if args.trace_out:
+    if stream_writer is not None:
+        _finish_stream(tracer, stream_writer, args.trace_out)
+    elif args.trace_out:
         print(f"chrome trace written to {args.trace_out} "
               "(load it at https://ui.perfetto.dev)")
     if args.metrics_out:
@@ -107,25 +202,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_virtual(args: argparse.Namespace, settings) -> int:
+def _run_virtual(args: argparse.Namespace, settings, trace_mode=None) -> int:
     """``run --virtual-ranks N``: event-driven modeled SPMD execution."""
     from repro.core.virtual import VirtualWorkflow
 
     tracer = None
-    if args.trace_out or args.metrics_out:
+    stream_writer = None
+    if args.trace_out and trace_mode != "mono":
+        tracer, stream_writer = _streaming_tracer(args.trace_out)
+    elif args.trace_out or args.metrics_out:
         from repro.observe.trace import Tracer
 
         tracer = Tracer()
+    profiler = None
+    if args.sim_profile:
+        from repro.sched import SimProfiler
+
+        profiler = SimProfiler(args.sim_profile_interval)
+        if args.jobs != 1:
+            print("grayscott: --sim-profile samples one engine; "
+                  "running serially (--jobs ignored)", file=sys.stderr)
     workflow = VirtualWorkflow(
         settings,
         nranks=args.virtual_ranks,
         overlap=args.overlap,
         nic_contention=args.nic_contention,
         tracer=tracer,
+        profiler=profiler,
     )
     result = workflow.run(jobs=args.jobs)
     print(result.render())
-    if args.trace_out:
+    if stream_writer is not None:
+        _finish_stream(tracer, stream_writer, args.trace_out)
+    elif args.trace_out:
         from repro.observe.export import write_chrome_trace
 
         write_chrome_trace(tracer, args.trace_out)
@@ -136,6 +245,11 @@ def _run_virtual(args: argparse.Namespace, settings) -> int:
 
         write_metrics_json(tracer.metrics, args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
+    if profiler is not None:
+        profiler.write_folded(args.sim_profile)
+        print(f"sim profile ({profiler.samples_taken} samples) written to "
+              f"{args.sim_profile} (render with 'grayscott observe "
+              f"flamegraph {args.sim_profile}')")
     return 0
 
 
@@ -178,6 +292,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     obj = load_chrome_trace(args.trace)
     print(summarize_chrome_trace(obj, width=args.width))
+    return 0
+
+
+def _cmd_observe_tail(args: argparse.Namespace) -> int:
+    from repro.observe.stream import tail_spans
+
+    records = tail_spans(args.source, args.lines)
+    if not records:
+        print("(empty stream)")
+        return 0
+    for rec in records:
+        extra = ""
+        if rec["args"]:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(rec["args"].items()))
+            extra = f"  [{pairs}]"
+        print(
+            f"[{rec['clock']}] {rec['process']}/{rec['thread']} "
+            f"{rec['start']:.6f}s +{rec['seconds']:.6f}s "
+            f"{rec['cat']}:{rec['name']}{extra}"
+        )
+    return 0
+
+
+def _cmd_observe_summary(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.observe.export import load_chrome_trace, summarize_chrome_trace
+    from repro.observe.stream import is_shard_source, load_manifest
+
+    source = Path(args.source)
+    if is_shard_source(source) and source.suffix != ".jsonl":
+        manifest = load_manifest(source)
+        print(
+            f"shard stream: {manifest['spans']} spans in "
+            f"{len(manifest['shards'])} shard(s)"
+        )
+        print()
+    obj = load_chrome_trace(args.source)
+    print(summarize_chrome_trace(obj, width=args.width))
+    return 0
+
+
+def _cmd_observe_merge(args: argparse.Namespace) -> int:
+    from repro.observe.stream import write_merged
+
+    out = write_merged(args.source, args.out)
+    print(f"merged trace written to {out} "
+          "(load it at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_observe_flamegraph(args: argparse.Namespace) -> int:
+    from repro.sched.profiler import load_folded, render_stacks
+
+    print(render_stacks(load_folded(args.profile), width=args.width))
     return 0
 
 
@@ -320,8 +489,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a rocprof-style results.csv (GPU backends only)",
     )
     p_run.add_argument(
-        "--trace-out", metavar="JSON",
-        help="write a Chrome/Perfetto trace of the whole run",
+        "--trace-out", metavar="PATH",
+        help="write a Chrome/Perfetto trace of the whole run; a .jsonl "
+             "suffix or a directory path streams bounded-memory shards "
+             "instead of buffering (see 'observe merge-shards')",
     )
     p_run.add_argument(
         "--metrics-out", metavar="JSON",
@@ -356,6 +527,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="print this rank's wall-time section table",
     )
+    p_run.add_argument(
+        "--sim-profile", metavar="FOLDED",
+        help="with --virtual-ranks: sample the rank states at virtual-time "
+             "intervals and write flame-graph folded stacks here",
+    )
+    p_run.add_argument(
+        "--sim-profile-interval", type=float, default=1e-3, metavar="SEC",
+        help="virtual seconds between sim-profiler samples (default: 1e-3)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_lint = sub.add_parser(
@@ -379,6 +559,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("trace", help="path to a trace written by run --trace-out")
     p_tr.add_argument("--width", type=int, default=72)
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_obs = sub.add_parser(
+        "observe", help="work with streamed telemetry (shards, profiles)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="observe_command", required=True)
+    o_tail = obs_sub.add_parser(
+        "tail", help="print the last spans of a shard stream"
+    )
+    o_tail.add_argument(
+        "source", help="shard directory, manifest.json, or .jsonl shard"
+    )
+    o_tail.add_argument("-n", "--lines", type=int, default=20)
+    o_tail.set_defaults(func=_cmd_observe_tail)
+    o_sum = obs_sub.add_parser(
+        "summary", help="summarize a streamed (or monolithic) trace"
+    )
+    o_sum.add_argument(
+        "source", help="shard directory, manifest.json, .jsonl, or trace JSON"
+    )
+    o_sum.add_argument("--width", type=int, default=72)
+    o_sum.set_defaults(func=_cmd_observe_summary)
+    o_merge = obs_sub.add_parser(
+        "merge-shards",
+        help="reassemble streamed shards into one Chrome trace JSON",
+    )
+    o_merge.add_argument(
+        "source", help="shard directory, manifest.json, or .jsonl shard"
+    )
+    o_merge.add_argument(
+        "-o", "--out", required=True, metavar="JSON",
+        help="path of the merged Chrome trace (byte-identical to the "
+             "monolithic --trace-out export of the same run)",
+    )
+    o_merge.set_defaults(func=_cmd_observe_merge)
+    o_flame = obs_sub.add_parser(
+        "flamegraph",
+        help="render a sim-profiler folded profile as ASCII occupancy bars",
+    )
+    o_flame.add_argument(
+        "profile", help="folded stacks written by run --sim-profile"
+    )
+    o_flame.add_argument("--width", type=int, default=40)
+    o_flame.set_defaults(func=_cmd_observe_flamegraph)
 
     p_an = sub.add_parser("analyze", help="summarize + render a dataset")
     p_an.add_argument("dataset", help="path to a .bp dataset")

@@ -110,6 +110,7 @@ class VirtualWorkflow:
         nic_contention: bool = False,
         machine: MachineSpec = FRONTIER,
         tracer=None,
+        profiler=None,
     ):
         from repro.cluster.placement import Placement
         from repro.mpi.cart import dims_create
@@ -130,6 +131,10 @@ class VirtualWorkflow:
         self.nic_contention = nic_contention
         self.machine = machine
         self.tracer = tracer
+        #: a :class:`repro.sched.SimProfiler` sampling the rank states
+        #: at virtual-time intervals; forces the serial engine (one
+        #: process table to sample)
+        self.profiler = profiler
         self.placement = Placement(self.nranks, machine)
         self.cart_dims = dims_create(self.nranks, 3)
         #: weak scaling: the settings' grid is each rank's local block
@@ -186,7 +191,7 @@ class VirtualWorkflow:
         from repro.par import resolve_jobs
 
         jobs = resolve_jobs(jobs)
-        if jobs > 1 and not self.nic_contention:
+        if jobs > 1 and not self.nic_contention and self.profiler is None:
             shards = self._shards(jobs)
             if len(shards) > 1:
                 return self._run_sharded(jobs, shards)
@@ -228,7 +233,10 @@ class VirtualWorkflow:
 
         settings = self.settings
         nranks, nnodes = self.nranks, self.placement.nnodes
-        engine = Engine(name=f"virtual[{nranks}]", tracer=self.tracer)
+        engine = Engine(
+            name=f"virtual[{nranks}]", tracer=self.tracer,
+            profiler=self.profiler,
+        )
         jitter = self._kernel_jitter()
         comm = self._comm_seconds()
         lustre = LustreModel(self.machine, seed=settings.seed)
@@ -359,12 +367,17 @@ class VirtualWorkflow:
         """
         from repro import observe
         from repro.gpu.proxy import grayscott_launch_cost, jit_compile_seconds
+        from repro.observe.stream import stream_sink, worker_shard_spec
         from repro.par import run_tasks, tracemerge
 
         settings = self.settings
         nranks, nnodes = self.nranks, self.placement.nnodes
         tracer = self.tracer if self.tracer is not None else observe.active()
         trace = tracer is not None
+        # streaming mode: workers write their own shard files into the
+        # parent stream's directory and ship back manifest entries only;
+        # the span lists never cross the pickle boundary
+        sink = stream_sink(tracer) if trace else None
         jitter = self._kernel_jitter()
         scale_full = 1.0 + jitter
         plotgap = settings.plotgap
@@ -398,7 +411,7 @@ class VirtualWorkflow:
         write_ends: dict[int, float] = {}
         comm_slices: list[np.ndarray | None] = [None] * len(shards)
         total_events = 0
-        for seg in segments:
+        for seg_idx, seg in enumerate(segments):
             tasks = []
             for s, (lo, hi) in enumerate(shards):
                 tasks.append({
@@ -407,6 +420,10 @@ class VirtualWorkflow:
                     "overlap": self.overlap,
                     "machine": self.machine,
                     "trace": trace,
+                    "stream": (
+                        worker_shard_spec(sink, f"w{seg_idx:03d}.{s:02d}")
+                        if sink is not None else None
+                    ),
                     "lo": lo,
                     "hi": hi,
                     "starts": starts[lo:hi].copy(),
@@ -421,7 +438,12 @@ class VirtualWorkflow:
                 if comm_slices[s] is None:
                     comm_slices[s] = out["comm"]
                 total_events += out["events"]
-                if trace and out["spans"]:
+                # (segment, shard) order — the same order merge_spans
+                # replayed span lists in, so the streamed manifest
+                # reconstructs the identical global span sequence
+                if trace and out.get("shards") is not None:
+                    sink.adopt_shards(out["shards"])
+                elif trace and out["spans"]:
                     tracemerge.merge_spans(tracer, out["spans"])
             barrier = float(arrivals.max())
             if not seg["final"]:
@@ -472,7 +494,17 @@ class VirtualWorkflow:
         overlap = self.overlap
         nranks, nnodes = self.nranks, self.placement.nnodes
         trace = payload["trace"]
-        tracer = Tracer() if trace else None
+        stream = payload.get("stream")
+        wsink = None
+        if trace and stream is not None:
+            from repro.observe.stream import open_worker_sink
+
+            # streaming worker: spans flush straight to this worker's
+            # own shard files (retain=False — the list never grows)
+            wsink = open_worker_sink(stream)
+            tracer = Tracer(sinks=[wsink], retain=False)
+        else:
+            tracer = Tracer() if trace else None
         # mirror=False when untraced keeps the engine from picking up a
         # pool-harness tracer via observe.active(); events_gauge=False
         # because partial shard counts must not collide on the parent
@@ -564,7 +596,8 @@ class VirtualWorkflow:
                 node: float(proc.finished_at) for node, proc in writes.items()
             },
             "comm": comm if sent_comm else None,
-            "spans": list(tracer.spans) if trace else None,
+            "spans": list(tracer.spans) if trace and wsink is None else None,
+            "shards": wsink.finish() if wsink is not None else None,
             "events": engine.events_processed,
         }
 

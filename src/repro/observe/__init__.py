@@ -20,14 +20,28 @@ Typical use (also what ``grayscott run --trace-out`` does)::
 Tracing is disabled unless a tracer is installed; every hook in the
 runtime layers checks :func:`active` first, so a disabled run pays one
 attribute read per hook site. See ``docs/OBSERVABILITY.md``.
+
+For runs too large to buffer, :mod:`repro.observe.stream` replaces
+"accumulate then dump" with streaming sinks attached to the tracer: a
+sharded Perfetto-JSONL writer (:class:`ShardedPerfettoWriter`), a
+crash-telemetry ring buffer (:class:`FlightRecorder`), and periodic
+live metrics snapshots (:class:`MetricsAggregator`).
 """
 
 from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.stream import (
+    FlightRecorder,
+    MetricsAggregator,
+    ShardedPerfettoWriter,
+    merge_shards,
+    write_merged,
+)
 from repro.observe.trace import (
     SIM,
     WALL,
     SpanRecord,
     Tracer,
+    TraceSink,
     activate,
     active,
     deactivate,
@@ -38,13 +52,19 @@ __all__ = [
     "SIM",
     "WALL",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricsAggregator",
     "MetricsRegistry",
+    "ShardedPerfettoWriter",
     "SpanRecord",
+    "TraceSink",
     "Tracer",
     "activate",
     "active",
     "deactivate",
+    "merge_shards",
     "session",
+    "write_merged",
 ]

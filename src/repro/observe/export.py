@@ -118,13 +118,27 @@ def write_chrome_trace(tracer: Tracer, path) -> Path:
 
 
 def load_chrome_trace(path) -> dict:
+    """Load a trace as a validated Chrome trace object.
+
+    Accepts a monolithic Chrome JSON file, or any streamed-shard source
+    from :mod:`repro.observe.stream` — a shard directory, its
+    ``manifest.json``, or a single ``.jsonl`` shard file — which is
+    merged to the equivalent Chrome object on the fly.
+    """
+    from repro.observe.stream import is_shard_source, merge_shards
+
     target = Path(path)
-    if not target.exists():
-        raise ObserveError(f"trace file not found: {target}")
-    try:
-        obj = json.loads(target.read_text())
-    except json.JSONDecodeError as exc:
-        raise ObserveError(f"trace file is not valid JSON: {exc}") from exc
+    if is_shard_source(target):
+        obj = merge_shards(target)
+    else:
+        if not target.exists():
+            raise ObserveError(f"trace file not found: {target}")
+        try:
+            obj = json.loads(target.read_text())
+        except json.JSONDecodeError as exc:
+            raise ObserveError(
+                f"trace file is not valid JSON: {exc}"
+            ) from exc
     problems = validate_chrome_trace(obj)
     if problems:
         raise ObserveError(
@@ -134,12 +148,31 @@ def load_chrome_trace(path) -> dict:
 
 
 def validate_chrome_trace(obj) -> list[str]:
-    """Schema-check a Chrome trace object; returns a list of problems.
+    """Schema-check a Chrome trace; returns a list of problems.
 
-    Checks the required fields per event phase, that per-lane ``ts``
-    values are monotonically non-decreasing, and that no (pid, tid)
-    lane mixes the two clock domains.
+    ``obj`` may be the trace object itself, or a path — monolithic
+    JSON, a ``.jsonl`` shard, a shard directory, or a manifest (the
+    streamed forms are merged before checking). Checks the required
+    fields per event phase, that per-lane ``ts`` values are
+    monotonically non-decreasing, and that no (pid, tid) lane mixes
+    the two clock domains.
     """
+    if isinstance(obj, (str, Path)):
+        from repro.observe.stream import is_shard_source, merge_shards
+
+        target = Path(obj)
+        if is_shard_source(target):
+            try:
+                obj = merge_shards(target)
+            except ObserveError as exc:
+                return [str(exc)]
+        else:
+            try:
+                obj = json.loads(target.read_text())
+            except OSError as exc:
+                return [f"cannot read {target}: {exc}"]
+            except json.JSONDecodeError as exc:
+                return [f"{target} is not valid JSON: {exc}"]
     problems: list[str] = []
     if not isinstance(obj, dict) or "traceEvents" not in obj:
         return ["top level must be an object with a 'traceEvents' list"]

@@ -95,6 +95,17 @@ class Histogram:
         rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
         return ordered[rank]
 
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile, ``q`` in [0, 1] (see :meth:`percentile`).
+
+        A single-sample histogram returns that sample for every ``q``,
+        and the endpoints are exact: ``quantile(0)`` is the minimum,
+        ``quantile(1)`` the maximum.
+        """
+        if not 0 <= q <= 1:
+            raise ObserveError(f"quantile {q} outside [0, 1]")
+        return self.percentile(q * 100)
+
     def summary(self) -> dict:
         if not self.samples:
             return {"count": 0}
@@ -107,6 +118,17 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
         }
+
+    def snapshot(self) -> dict:
+        """The live-metrics record: :meth:`summary` plus the p99 tail.
+
+        This is what :class:`repro.observe.stream.MetricsAggregator`
+        publishes per interval; an empty histogram snapshots to
+        ``{"count": 0}`` instead of raising.
+        """
+        if not self.samples:
+            return {"count": 0}
+        return {**self.summary(), "p99": self.percentile(99)}
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

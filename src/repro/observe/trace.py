@@ -36,6 +36,18 @@ Nothing is traced unless a tracer has been installed with
 instrumentation site starts with ``tracer = active()`` — a module
 attribute read — and does no further work when it returns ``None``, so
 existing benchmarks are unaffected.
+
+Sinks and bounded memory
+------------------------
+
+By default every span is retained in :attr:`Tracer.spans` until export
+("accumulate then dump"). A tracer may instead carry **sinks** —
+objects implementing the :class:`TraceSink` protocol — which observe
+every span as it closes. With ``retain=False`` the in-memory list is
+skipped entirely and the sinks are the only consumers: this is the
+bounded-memory streaming mode of :mod:`repro.observe.stream`, where a
+million-rank modeled run exports rotating shard files without ever
+materializing its span list.
 """
 
 from __future__ import annotations
@@ -91,13 +103,47 @@ class SpanRecord:
         return dict(self.args)
 
 
+class TraceSink:
+    """Protocol for streaming span consumers attached to a tracer.
+
+    A sink sees every span at the moment it is recorded (under the
+    tracer's lock, so implementations must not re-enter the tracer).
+    The base class is a no-op; concrete sinks live in
+    :mod:`repro.observe.stream` (sharded Perfetto writer, flight
+    recorder, metrics aggregator).
+    """
+
+    def record(self, span: SpanRecord) -> None:  # pragma: no cover
+        """Observe one closed span."""
+
+    def flush(self) -> None:
+        """Push any buffered state out (shard files, snapshots)."""
+
+    def close(self) -> None:
+        """Flush and finalize (write manifests, release files)."""
+
+
 class Tracer:
     """Thread-safe collector of :class:`SpanRecord` entries + metrics."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        *,
+        sinks: list[TraceSink] | None = None,
+        retain: bool = True,
+    ) -> None:
         self._lock = threading.Lock()
         self.spans: list[SpanRecord] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sinks: list[TraceSink] = list(sinks) if sinks else []
+        #: keep spans in memory (False = streaming mode, sinks only)
+        self.retain = retain
+        if not retain and not self.sinks:
+            raise ObserveError(
+                "a tracer with retain=False needs at least one sink; "
+                "otherwise every span would be dropped"
+            )
         #: lane -> clock domain, for the never-mix invariant
         self._lane_clocks: dict[tuple[str, str], str] = {}
         self._wall_epoch = time.perf_counter()
@@ -150,7 +196,10 @@ class Tracer:
                     f"refusing to add {clock!r}-clock span {name!r} "
                     "(one lane, one clock domain)"
                 )
-            self.spans.append(record)
+            if self.retain:
+                self.spans.append(record)
+            for sink in self.sinks:
+                sink.record(record)
         return record
 
     def instant(
@@ -210,6 +259,27 @@ class Tracer:
                 seconds=self.wall_now() - start,
                 args=args,
             )
+
+    # -- sinks -------------------------------------------------------------
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        """Attach a streaming sink; it sees every span recorded after."""
+        with self._lock:
+            self.sinks.append(sink)
+        return sink
+
+    def flush(self) -> None:
+        """Flush every attached sink's buffered state."""
+        with self._lock:
+            sinks = list(self.sinks)
+        for sink in sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Close every attached sink (writes shard manifests etc.)."""
+        with self._lock:
+            sinks = list(self.sinks)
+        for sink in sinks:
+            sink.close()
 
     # -- queries -----------------------------------------------------------
     def lanes(self) -> dict[tuple[str, str], list[SpanRecord]]:

@@ -13,13 +13,23 @@ snapshot). The parent folds them back in:
   Perfetto export gives every worker its own PID group of lanes instead
   of interleaving unrelated wall clocks in one lane.
 - **metrics** merge with the registry's usual semantics: counters add,
-  gauges keep the last set value, histograms pool samples.
+  gauges keep the last set value, histograms pool samples. A gauge a
+  worker created but never set, and a histogram that pooled no samples
+  (an empty worker), still *register* on the parent — a parallel run
+  must expose the same metric set a serial run would.
+
+Streaming runs (:mod:`repro.observe.stream`) skip span shipping
+entirely: each worker writes its own JSONL shards into the parent
+stream's directory and returns only the manifest entries, which the
+parent folds in with :func:`adopt_shards` — the merged trace never
+crosses the pickle boundary.
 """
 
 from __future__ import annotations
 
 from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.observe.trace import SIM, SpanRecord, Tracer
+from repro.util.errors import ObserveError
 
 
 def capture(tracer: Tracer) -> tuple[list[SpanRecord], list[dict]]:
@@ -52,11 +62,17 @@ def merge_metrics(registry: MetricsRegistry, snapshot: list[dict]) -> None:
         if entry["kind"] == "counter":
             registry.counter(entry["name"], **labels).inc(entry["value"])
         elif entry["kind"] == "gauge":
+            # register the gauge even when the worker never set it —
+            # only the .set() is skipped, so a never-set gauge stays
+            # None instead of clobbering a sibling worker's value
+            gauge = registry.gauge(entry["name"], **labels)
             if entry["value"] is not None:
-                registry.gauge(entry["name"], **labels).set(entry["value"])
+                gauge.set(entry["value"])
         elif entry["kind"] == "histogram":
+            # .get(): an empty worker may snapshot a histogram with no
+            # samples key at all; it must still register on the parent
             registry.histogram(entry["name"], **labels).samples.extend(
-                entry["samples"]
+                entry.get("samples") or []
             )
 
 
@@ -83,6 +99,24 @@ def merge_spans(
             args=dict(record.args),
             ph=record.ph,
         )
+
+
+def adopt_shards(tracer: Tracer, entries: list[dict]) -> None:
+    """Fold a worker's streamed shard entries into the parent's sink.
+
+    The streaming counterpart of :func:`merge_spans`: the spans are
+    already on disk (the worker wrote them into the parent stream's
+    directory), so only the ``(file, spans)`` manifest entries move.
+    """
+    from repro.observe.stream import stream_sink
+
+    sink = stream_sink(tracer)
+    if sink is None:
+        raise ObserveError(
+            "adopt_shards needs a tracer carrying a directory-mode "
+            "ShardedPerfettoWriter sink"
+        )
+    sink.adopt_shards(entries)
 
 
 def merge_capture(

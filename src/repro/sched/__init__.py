@@ -23,6 +23,7 @@ from repro.sched.engine import (
     series,
     use,
 )
+from repro.sched.profiler import SimProfiler, collapse_label
 from repro.sched.vspmd import (
     VirtualComm,
     VirtualJob,
@@ -43,8 +44,10 @@ __all__ = [
     "Release",
     "Resource",
     "Signal",
+    "SimProfiler",
     "UsePlan",
     "Wait",
+    "collapse_label",
     "delay",
     "series",
     "use",

@@ -449,11 +449,17 @@ class Engine:
         tracer: observe.Tracer | None = None,
         mirror: bool = True,
         events_gauge: bool = True,
+        profiler=None,
     ):
         self.name = name
         self.clock = clock if clock is not None else SimClock()
         self.tracer = tracer
         self.mirror = mirror
+        #: a :class:`repro.sched.profiler.SimProfiler` sampling the
+        #: process table at virtual-time intervals (None = no sampling;
+        #: the run loop then pays a single float compare per clock
+        #: advance against +inf)
+        self.profiler = profiler
         #: shard engines of a process-parallel run disable the
         #: events-processed gauge: their partial counts would collide
         #: on the parent engine's label after the trace merge
@@ -574,6 +580,8 @@ class Engine:
         heappop = heapq.heappop
         no_arg = _NO_ARG
         events = 0
+        profiler = self.profiler
+        next_sample = math.inf if profiler is None else profiler.next_sample
         # Pause the cyclic collector for the drain: finished processes
         # release their frames (refcounting frees them promptly), so the
         # collector finds no garbage here — it just rescans the tens of
@@ -585,6 +593,8 @@ class Engine:
         try:
             while queue:
                 if until is not None and queue[0][0] > until:
+                    if until >= next_sample:
+                        next_sample = profiler.advance(self, until)
                     clock.advance_to(until, strict=True)
                     return clock.now
                 when, _, fn, arg = heappop(queue)
@@ -592,6 +602,11 @@ class Engine:
                 # touching the clock (the common case: resumptions and
                 # zero-latency deliveries at the current instant)
                 if when > clock.now:
+                    # sample the idle gap before crossing it: the
+                    # profiler attributes it to the states processes
+                    # are blocked in right now
+                    if when >= next_sample:
+                        next_sample = profiler.advance(self, when)
                     clock.advance_to(when, strict=True)
                 events += 1
                 if arg is no_arg:

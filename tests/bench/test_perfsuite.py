@@ -23,7 +23,7 @@ from repro.bench.perfsuite import (
 
 CASE_NAMES = {
     "cache_sweep", "jit_trace_memo", "pack_unpack",
-    "io_bp5", "par_speedup", "sched_engine",
+    "io_bp5", "par_speedup", "sched_engine", "trace_streaming",
 }
 
 
@@ -57,6 +57,19 @@ class TestSchema:
         assert diffed, "no case ran its retained reference path"
         for case in diffed:
             assert case["identical"] is True, case["name"]
+
+    def test_streaming_case_reports_overhead_and_bound(self, payload):
+        from repro.bench.perfsuite import OVERHEAD_LIMIT
+
+        (case,) = [
+            c for c in payload["cases"] if c["name"] == "trace_streaming"
+        ]
+        m = case["metrics"]
+        assert m["spans"] > 0
+        assert m["spans_per_second"] > 0
+        assert m["max_buffered"] <= 4096  # bounded by the flush threshold
+        assert m["overhead_ratio"] > 0
+        assert m["overhead_limit"] == OVERHEAD_LIMIT
 
     def test_sched_case_reports_normalized_rate(self, payload):
         (sched,) = [c for c in payload["cases"] if c["name"] == "sched_engine"]
@@ -124,6 +137,16 @@ class TestGate:
         doctored["cases"] = doctored["cases"][1:]
         failures = check_regressions(doctored, to_baseline(payload))
         assert any("missing from current run" in f for f in failures)
+
+    def test_tracing_overhead_gated_absolutely(self, payload):
+        doctored = copy.deepcopy(payload)
+        for case in doctored["cases"]:
+            if case["name"] == "trace_streaming":
+                case["metrics"]["overhead_ratio"] = 2.0
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert any("tracing overhead" in f for f in failures)
+        # the limit is absolute: it survives the baseline derate
+        assert any("1.10x limit" in f for f in failures)
 
     def test_rejects_wrong_schema(self, payload):
         doctored = copy.deepcopy(payload)

@@ -103,6 +103,48 @@ class TestChromeExport:
         assert any("mixes clock domains" in p for p in problems)
 
 
+class TestShardSources:
+    """Satellite: load/validate accept JSONL shard dirs and manifests."""
+
+    def _streamed(self, target):
+        from repro.observe.stream import ShardedPerfettoWriter
+
+        sink = ShardedPerfettoWriter(target, flush_threshold=4)
+        tracer = Tracer(sinks=[sink], retain=False)
+        for i in range(11):
+            tracer.add_span(
+                f"op{i}", cat="core", clock=SIM, process="p", thread="t",
+                start=float(i), seconds=0.5,
+            )
+        tracer.close()
+
+    def test_load_chrome_trace_from_shard_dir(self, tmp_path):
+        self._streamed(tmp_path / "shards")
+        obj = load_chrome_trace(tmp_path / "shards")
+        assert obj["otherData"]["schema"] == "repro.observe.trace/1"
+        assert sum(1 for e in obj["traceEvents"] if e["ph"] == "X") == 11
+
+    def test_load_chrome_trace_from_jsonl_and_manifest(self, tmp_path):
+        self._streamed(tmp_path / "one.jsonl")
+        self._streamed(tmp_path / "d")
+        via_jsonl = load_chrome_trace(tmp_path / "one.jsonl")
+        via_manifest = load_chrome_trace(tmp_path / "d" / "manifest.json")
+        assert via_jsonl == via_manifest
+
+    def test_validate_accepts_path_inputs(self, tmp_path):
+        self._streamed(tmp_path / "shards")
+        assert validate_chrome_trace(tmp_path / "shards") == []
+        good = write_chrome_trace(_mixed_tracer(), tmp_path / "t.json")
+        assert validate_chrome_trace(good) == []
+
+    def test_validate_reports_broken_sources_as_problems(self, tmp_path):
+        problems = validate_chrome_trace(tmp_path / "missing.json")
+        assert problems and any("missing.json" in p for p in problems)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{nope\n")
+        assert validate_chrome_trace(bad) != []
+
+
 class TestWorkflowTrace:
     """Satellite: a 2-step, 4-rank workflow yields a valid Chrome trace."""
 

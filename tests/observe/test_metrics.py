@@ -59,6 +59,27 @@ class TestHistogram:
         with pytest.raises(ObserveError, match="outside"):
             h.percentile(101)
 
+    def test_quantile_is_fractional_percentile(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.5) == h.percentile(50)
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(1.0) == 100.0
+        with pytest.raises(ObserveError, match="outside"):
+            h.quantile(1.5)
+
+    def test_snapshot_fixed_size(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.snapshot() == {"count": 0}
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["p50"] == 2.0
+        assert snap["p99"] == 4.0
+        assert "samples" not in snap
+
 
 class TestRegistry:
     def test_kind_conflict_rejected(self):

@@ -74,3 +74,49 @@ class TestMetricsMerge:
         assert sorted(parent.metrics.histogram("lat.seconds").samples) == [
             0.125, 1.0,
         ]
+
+    def test_never_set_gauge_still_registers(self):
+        worker = Tracer()
+        worker.metrics.gauge("queue.depth")  # declared, never set
+        parent = Tracer()
+        tracemerge.merge_metrics(
+            parent.metrics, tracemerge.snapshot_metrics(worker.metrics)
+        )
+        assert parent.metrics.gauge("queue.depth").value is None
+
+    def test_empty_histogram_still_registers(self):
+        worker = Tracer()
+        worker.metrics.histogram("lat.empty")
+        parent = Tracer()
+        tracemerge.merge_metrics(
+            parent.metrics, tracemerge.snapshot_metrics(worker.metrics)
+        )
+        assert parent.metrics.histogram("lat.empty").count == 0
+
+
+class TestAdoptShards:
+    def test_adopts_into_dir_mode_sink(self, tmp_path):
+        from repro.observe.stream import (
+            ShardedPerfettoWriter,
+            load_manifest,
+            open_worker_sink,
+            worker_shard_spec,
+        )
+
+        parent_sink = ShardedPerfettoWriter(tmp_path / "s")
+        parent = Tracer(sinks=[parent_sink], retain=False)
+        wsink = open_worker_sink(worker_shard_spec(parent_sink, "w000.00"))
+        worker = Tracer(sinks=[wsink], retain=False)
+        worker.add_span("kernel", cat="gpu", clock=SIM, process="vrank0",
+                        thread="core", start=0.0, seconds=1.0)
+        tracemerge.adopt_shards(parent, wsink.finish())
+        parent.close()
+        assert load_manifest(tmp_path / "s")["spans"] == 1
+
+    def test_requires_a_streaming_sink(self):
+        import pytest
+
+        from repro.util.errors import ObserveError
+
+        with pytest.raises(ObserveError, match="directory-mode"):
+            tracemerge.adopt_shards(Tracer(), [{"file": "x", "spans": 1}])

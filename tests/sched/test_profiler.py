@@ -1,0 +1,143 @@
+"""Sampling sim-profiler: engine hook, folded stacks, rendering."""
+
+import pytest
+
+from repro.sched import Delay, Engine, SimProfiler, Wait, collapse_label, use
+from repro.sched.profiler import load_folded, render_stacks
+from repro.util.errors import SchedError
+
+
+class TestEngineHook:
+    def test_samples_at_fixed_virtual_intervals(self):
+        profiler = SimProfiler(interval=1.0)
+        engine = Engine(mirror=False, profiler=profiler)
+
+        def program():
+            yield Delay(10.0, label="kernel")
+
+        engine.spawn("rank0", program())
+        engine.run()
+        # samples fire at t=1..10 inclusive (first at `interval`)
+        assert profiler.samples_taken == 10
+        assert profiler.stacks == {("rank*", "delay(kernel)"): 10}
+
+    def test_unlabelled_delay_samples_as_delay_state(self):
+        profiler = SimProfiler(interval=0.5)
+        engine = Engine(mirror=False, profiler=profiler)
+        engine.spawn("p", (Delay(2.0) for _ in (0,)))
+        engine.run()
+        assert profiler.samples_taken == 4
+        ((key, count),) = profiler.stacks.items()
+        assert key[0] == "p"
+        assert count == 4
+
+    def test_blocked_states_attributed(self):
+        profiler = SimProfiler(interval=1.0)
+        engine = Engine(mirror=False, profiler=profiler)
+        gcd = engine.resource("gcd")
+        engine.spawn("rank0", use(gcd, 4.0, label="kernel"))
+        engine.spawn("rank1", use(gcd, 4.0, label="kernel"))
+        engine.run()
+        # rank1 queues on the resource for the first 4 virtual seconds
+        blocked = {
+            state: count for (_, state), count in profiler.stacks.items()
+        }
+        assert sum(blocked.values()) == profiler.samples_taken * 2 - 4
+        assert any("gcd" in state for state in blocked)
+
+    def test_run_until_samples_idle_tail(self):
+        profiler = SimProfiler(interval=1.0)
+        engine = Engine(mirror=False, profiler=profiler)
+        signal = engine.signal("never")
+
+        def stuck():
+            yield Wait(signal)
+
+        engine.spawn("stuck", stuck())
+        engine.schedule(10.0, lambda: None)  # keep the queue non-empty
+        engine.run(until=3.0)
+        assert profiler.samples_taken == 3
+        assert profiler.stacks == {("stuck", "wait(never)"): 3}
+
+    def test_no_profiler_costs_nothing(self):
+        engine = Engine(mirror=False)
+        engine.schedule(1.0, lambda: None)
+        assert engine.profiler is None
+        engine.run()
+
+    def test_finished_processes_not_sampled(self):
+        profiler = SimProfiler(interval=1.0)
+        engine = Engine(mirror=False, profiler=profiler)
+        engine.spawn("short", (Delay(1.0) for _ in (0,)))
+        engine.spawn("long", (Delay(5.0) for _ in (0,)))
+        engine.run()
+        total = sum(
+            count
+            for (name, _), count in profiler.stacks.items()
+            if name == "short"
+        )
+        # `short` only appears in the t=1 sample, never after it finishes
+        assert total == 1
+
+    def test_interval_must_be_positive(self):
+        for bad in (0, -1.0):
+            with pytest.raises(SchedError, match="interval"):
+                SimProfiler(interval=bad)
+
+
+class TestCollapse:
+    def test_collapse_label_folds_digit_runs(self):
+        assert collapse_label("rank12345") == "rank*"
+        assert collapse_label("gcd0.kernel7") == "gcd*.kernel*"
+        assert collapse_label("plain") == "plain"
+
+    def test_collapse_false_keeps_rank_ids(self):
+        profiler = SimProfiler(interval=1.0, collapse=False)
+        engine = Engine(mirror=False, profiler=profiler)
+        for i in range(3):
+            engine.spawn(f"rank{i}", (Delay(2.0, label="k") for _ in (0,)))
+        engine.run()
+        names = {name for name, _ in profiler.stacks}
+        assert names == {"rank0", "rank1", "rank2"}
+
+
+class TestOutput:
+    def run_profiled(self):
+        profiler = SimProfiler(interval=1.0)
+        engine = Engine(mirror=False, profiler=profiler)
+        for i in range(4):
+            engine.spawn(f"rank{i}", (Delay(3.0, label="k") for _ in (0,)))
+        engine.run()
+        return profiler
+
+    def test_folded_round_trip(self, tmp_path):
+        profiler = self.run_profiled()
+        path = profiler.write_folded(tmp_path / "prof.folded")
+        assert load_folded(path) == profiler.stacks
+        assert profiler.folded() == ["rank*;delay(k) 12"]
+
+    def test_load_folded_rejects_malformed_lines(self, tmp_path):
+        bad = tmp_path / "bad.folded"
+        bad.write_text("rank*;delay(k) 3\nnot a folded line\n")
+        with pytest.raises(SchedError, match="bad.folded:2"):
+            load_folded(bad)
+        with pytest.raises(SchedError, match="not found"):
+            load_folded(tmp_path / "missing.folded")
+
+    def test_to_json_schema(self):
+        profiler = self.run_profiled()
+        obj = profiler.to_json()
+        assert obj["schema"] == "repro.sched.profile/1"
+        assert obj["samples"] == 3
+        assert obj["stacks"] == [
+            {"name": "rank*", "state": "delay(k)", "count": 12}
+        ]
+
+    def test_render_ranks_heaviest_first(self):
+        stacks = {("a", "x"): 1, ("b", "y"): 9}
+        out = render_stacks(stacks, samples=10, width=10)
+        lines = out.splitlines()
+        assert lines[0] == "10 samples, 10 process-samples"
+        assert "b;y" in lines[1] and "90.00%" in lines[1]
+        assert "a;x" in lines[2]
+        assert render_stacks({}) == "no samples"

@@ -258,3 +258,97 @@ class TestCliVirtual:
         path = self._gpu_settings(tmp_path)
         assert main(["run", str(path), "--nic-contention"]) == 2
         assert "--virtual-ranks" in capsys.readouterr().err
+
+
+class TestCliStreaming:
+    def _gpu_settings(self, tmp_path):
+        path = tmp_path / "v.json"
+        GrayScottSettings(
+            L=64, steps=4, plotgap=2, backend="julia",
+        ).save(path)
+        return path
+
+    def test_trace_out_directory_streams_shards(self, tmp_path, capsys):
+        from repro.observe.stream import load_manifest
+
+        path = self._gpu_settings(tmp_path)
+        traces = tmp_path / "traces"
+        assert main([
+            "run", str(path), "--virtual-ranks", "16", "--overlap",
+            "--trace-out", str(traces) + "/",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out and "merge-shards" in out
+        manifest = load_manifest(traces)
+        assert manifest["spans"] > 0
+
+    def test_trace_out_jsonl_streams_single_file(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        target = tmp_path / "t.jsonl"
+        assert main([
+            "run", str(path), "--virtual-ranks", "8",
+            "--trace-out", str(target),
+        ]) == 0
+        assert "streamed" in capsys.readouterr().out
+        assert target.read_text().count("\n") > 0
+
+    def test_unwritable_trace_out_fails_early(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        assert main([
+            "run", str(path), "--virtual-ranks", "8",
+            "--trace-out", "/nonexistent/x/trace.json",
+        ]) == 2
+        assert "grayscott:" in capsys.readouterr().err
+
+    def test_merge_shards_byte_identical(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        traces = tmp_path / "traces"
+        mono = tmp_path / "mono.json"
+        main(["run", str(path), "--virtual-ranks", "16", "--overlap",
+              "--trace-out", str(traces) + "/"])
+        main(["run", str(path), "--virtual-ranks", "16", "--overlap",
+              "--trace-out", str(mono)])
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert main([
+            "observe", "merge-shards", str(traces), "-o", str(merged),
+        ]) == 0
+        assert mono.read_bytes() == merged.read_bytes()
+
+    def test_observe_tail_and_summary(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        traces = tmp_path / "traces"
+        main(["run", str(path), "--virtual-ranks", "8",
+              "--trace-out", str(traces) + "/"])
+        capsys.readouterr()
+        assert main(["observe", "tail", str(traces), "-n", "3"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+        assert main(["observe", "summary", str(traces)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+
+    def test_observe_rejects_missing_source(self, tmp_path, capsys):
+        assert main(["observe", "tail", str(tmp_path / "nope")]) == 1
+        assert "grayscott:" in capsys.readouterr().err
+
+    def test_sim_profile_writes_folded(self, tmp_path, capsys):
+        from repro.sched.profiler import load_folded
+
+        path = self._gpu_settings(tmp_path)
+        folded = tmp_path / "prof.folded"
+        assert main([
+            "run", str(path), "--virtual-ranks", "8",
+            "--sim-profile", str(folded),
+            "--sim-profile-interval", "0.01",
+        ]) == 0
+        assert "sim profile" in capsys.readouterr().out
+        assert load_folded(folded)
+        assert main(["observe", "flamegraph", str(folded)]) == 0
+        assert "process-samples" in capsys.readouterr().out
+
+    def test_sim_profile_requires_virtual_ranks(self, tmp_path, capsys):
+        path = self._gpu_settings(tmp_path)
+        assert main([
+            "run", str(path), "--sim-profile", str(tmp_path / "p.folded"),
+        ]) == 2
+        assert "--virtual-ranks" in capsys.readouterr().err
