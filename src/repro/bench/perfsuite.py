@@ -27,7 +27,13 @@ bit-identity where a reference exists:
   plus the tracing overhead of streaming the real solver workflow vs.
   the untraced run — gated against the *absolute* ``overhead_limit``
   (1.10x) rather than a derated baseline, because "streaming tracing
-  costs <= 10%" is the contract, not a host-relative floor.
+  costs <= 10%" is the contract, not a host-relative floor;
+- ``ir_passes`` — the stencil-IR rewrite pipeline
+  (:class:`repro.ir.passes.PassManager` over the traced workflow
+  module): pipeline wall time plus the dimensionless op-count
+  reduction ratios the passes deliver, with the pass-legality contract
+  checked as bit-identity of :func:`repro.ir.interp.evaluate_module`
+  before vs. after rewriting.
 
 ``run_suite`` returns a :class:`SuiteResult`; ``to_json`` produces the
 schema-stable payload written to ``BENCH_selfperf.json`` (schema id
@@ -459,6 +465,54 @@ def _case_trace_streaming(quick: bool, loop_score: float) -> CaseResult:
     )
 
 
+def _case_ir_passes(quick: bool) -> CaseResult:
+    from repro.ir.build import workflow_module
+    from repro.ir.interp import evaluate_module
+    from repro.ir.passes import PassManager
+
+    extent = 6  # evaluator-friendly domain; the trace is extent-invariant
+    module = workflow_module(extent=extent)
+    rewritten, _ = PassManager().run(module)
+    repeats = 10 if quick else 30
+    pipeline_s = _best_of(lambda: PassManager().run(module), repeats)
+
+    # the pass-legality contract: evaluating the rewritten module over
+    # the same inputs must reproduce every output array bit for bit
+    rng = np.random.default_rng(11)
+    shape = (extent,) * 3
+    base = {
+        "u": np.asfortranarray(rng.random(shape)),
+        "v": np.asfortranarray(rng.random(shape)),
+        "u_new": np.zeros(shape, order="F"),
+        "v_new": np.zeros(shape, order="F"),
+        "lap": np.zeros(shape, order="F"),
+    }
+    reference = {k: a.copy(order="F") for k, a in base.items()}
+    optimized = {k: a.copy(order="F") for k, a in base.items()}
+    evaluate_module(module, reference)
+    evaluate_module(rewritten, optimized)
+    identical = all(
+        np.array_equal(reference[name], optimized[name]) for name in base
+    )
+
+    before, after = module.op_counts(), rewritten.op_counts()
+    return CaseResult(
+        name="ir_passes",
+        optimized_seconds=pipeline_s,
+        reference_seconds=None,
+        identical=identical,
+        metrics={
+            "funcs_before": 2,
+            "funcs_after": len(rewritten.funcs),
+            "load_ops_before": before["load"],
+            "load_ops_after": after["load"],
+            # dimensionless reduction ratios — comparable across hosts
+            "load_reduction": 1.0 - after["load"] / before["load"],
+            "arith_reduction": 1.0 - after["arith"] / before["arith"],
+        },
+    )
+
+
 def run_suite(*, quick: bool = False) -> SuiteResult:
     """Run all hot-path cases; ``quick`` shrinks sizes to CI scale."""
     loop_score = _measure_loop_score()
@@ -470,6 +524,7 @@ def run_suite(*, quick: bool = False) -> SuiteResult:
         _case_par_speedup(quick),
         _case_sched_engine(quick, loop_score),
         _case_trace_streaming(quick, loop_score),
+        _case_ir_passes(quick),
     ]
     return SuiteResult(quick=quick, loop_score=loop_score, cases=cases)
 

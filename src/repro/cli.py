@@ -254,12 +254,13 @@ def _run_virtual(args: argparse.Namespace, settings, trace_mode=None) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    """``grayscott lint``: exit 0 clean, 1 on errors, 2 on usage/IO."""
     import json
 
     from repro.core.settings import GrayScottSettings
     from repro.lint import check_rule_ids, exit_code, render_text, to_sarif
     from repro.lint.runner import lint_workflow
-    from repro.util.errors import LintError
+    from repro.util.errors import ConfigError, IrError, LintError
 
     rules = None
     if args.rules:
@@ -271,20 +272,166 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"grayscott: {exc}", file=sys.stderr)
             return 2
 
-    settings = GrayScottSettings.load(args.settings)
-    report = lint_workflow(settings, rules=rules)
+    if args.passes:
+        from repro.ir.passes import parse_pipeline
 
-    if args.format == "json":
+        try:
+            parse_pipeline(args.passes)
+        except IrError as exc:
+            print(f"grayscott: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        settings = GrayScottSettings.load(args.settings)
+    except (ConfigError, OSError) as exc:
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 2
+    report = lint_workflow(settings, rules=rules, passes=args.passes)
+
+    if args.format in ("json", "sarif"):
         text = json.dumps(to_sarif(report), indent=2)
     else:
         text = render_text(report, title=f"lint: {args.settings}")
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text + "\n")
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"grayscott: cannot write {args.out}: {exc}",
+                  file=sys.stderr)
+            return 2
         print(f"lint report written to {args.out}")
     else:
         print(text)
     return exit_code(report)
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    from repro.util.errors import IrError
+
+    parts = [p for p in text.lower().replace(",", "x").split("x") if p]
+    try:
+        dims = tuple(int(p) for p in parts)
+    except ValueError:
+        raise IrError(f"malformed shape {text!r}; expected NxNxN") from None
+    if len(dims) == 1:
+        dims = dims * 3
+    if len(dims) != 3 or any(d < 4 for d in dims):
+        raise IrError(
+            f"shape {text!r} must have 3 extents of at least 4"
+        )
+    return dims
+
+
+def _ir_module(args):
+    """The stencil-IR module an ``ir`` subcommand operates on."""
+    from repro.core.settings import GrayScottSettings
+    from repro.ir.build import workflow_module
+    from repro.util.errors import IrError
+
+    settings = (
+        GrayScottSettings.load(args.settings) if args.settings else None
+    )
+    module = workflow_module(settings)
+    if args.kernel:
+        names = [f.name for f in module.funcs]
+        if args.kernel not in names:
+            raise IrError(
+                f"unknown kernel {args.kernel!r}; module has: "
+                + ", ".join(names)
+            )
+        module = module.with_funcs(
+            [f for f in module.funcs if f.name == args.kernel]
+        )
+    return module
+
+
+def _emit(text: str, out: str | None, what: str) -> int:
+    if out:
+        try:
+            with open(out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"grayscott: cannot write {out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"{what} written to {out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_ir(args: argparse.Namespace) -> int:
+    """``grayscott ir <dump|verify|optimize>`` over the workflow module.
+
+    Exit codes follow the lint contract: 0 on success/clean, 1 when
+    ``verify`` finds problems, 2 on usage or IO errors.
+    """
+    import json
+
+    from repro.util.errors import ConfigError, IrError
+
+    try:
+        module = _ir_module(args)
+    except (ConfigError, IrError, OSError) as exc:
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 2
+
+    if args.ir_command == "dump":
+        if args.format == "json":
+            text = json.dumps(module.to_json(), indent=2)
+        else:
+            text = module.render()
+        return _emit(text, args.out, "IR dump")
+
+    if args.ir_command == "verify":
+        from repro.ir.analysis import AnalysisContext
+        from repro.lint import check_ir_func, render_text, to_sarif
+        from repro.lint.diagnostics import LintReport
+        from repro.lint.kernels import analyze_ir_func
+
+        problems = module.verify()
+        if problems:
+            for problem in problems:
+                print(f"grayscott: invalid IR: {problem}", file=sys.stderr)
+            return 1
+        report = LintReport()
+        for func in module.funcs:
+            ctx = AnalysisContext(func)
+            analyze_ir_func(func, report=report, ctx=ctx)
+            check_ir_func(func, report=report, ctx=ctx)
+        if args.format in ("json", "sarif"):
+            text = json.dumps(to_sarif(report), indent=2)
+        else:
+            text = render_text(report, title=f"ir verify: {module.name}")
+        code = _emit(text, args.out, "IR verify report")
+        if code:
+            return code
+        from repro.lint import exit_code
+
+        return exit_code(report)
+
+    # optimize
+    from repro.ir.passes import parse_pipeline
+    from repro.ir.perfmodel import counterfactual
+
+    try:
+        pipeline = parse_pipeline(args.passes)
+        shape = _parse_shape(args.shape)
+    except IrError as exc:
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 2
+    result = counterfactual(
+        module,
+        shape=shape,
+        passes=pipeline,
+        exact=args.exact,
+        capacity_bytes=args.capacity_bytes,
+    )
+    if args.format == "json":
+        text = json.dumps(result.to_json(), indent=2)
+    else:
+        text = result.render()
+    return _emit(text, args.out, "IR optimize report")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -543,17 +690,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("settings", help="path to a JSON settings file")
     p_lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format: human text or SARIF-like JSON",
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format: human text or SARIF JSON ('json' and "
+             "'sarif' are synonyms)",
     )
     p_lint.add_argument(
         "--rules", metavar="ID,ID,...",
         help="only report these rule ids (see docs/LINTING.md)",
     )
     p_lint.add_argument(
+        "--passes", metavar="P,P,...",
+        help="also run this stencil-IR pass pipeline (e.g. fuse,rle,cse) "
+             "over the workflow module and report missed optimizations "
+             "(IR-FUSION-MISSED, IR-CSE)",
+    )
+    p_lint.add_argument(
         "--out", metavar="FILE", help="write the report here instead of stdout"
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_ir = sub.add_parser(
+        "ir", help="dump/verify/optimize the workflow's stencil IR"
+    )
+    ir_sub = p_ir.add_subparsers(dest="ir_command", required=True)
+
+    def _ir_common(p):
+        p.add_argument(
+            "settings", nargs="?", default=None,
+            help="optional JSON settings file (defaults to the built-in "
+                 "Gray-Scott configuration)",
+        )
+        p.add_argument(
+            "--kernel", metavar="NAME",
+            help="restrict to one kernel of the module",
+        )
+        p.add_argument(
+            "--format", choices=["text", "json", "sarif"], default="text",
+            help="output format",
+        )
+        p.add_argument(
+            "--out", metavar="FILE",
+            help="write the output here instead of stdout",
+        )
+
+    i_dump = ir_sub.add_parser(
+        "dump", help="print the module's MLIR-flavored text (or JSON) form"
+    )
+    _ir_common(i_dump)
+    i_dump.set_defaults(func=_cmd_ir)
+    i_verify = ir_sub.add_parser(
+        "verify",
+        help="verify SSA well-formedness and lint the IR (KRN-* plus the "
+             "optimizer-backed IR-* rules)",
+    )
+    _ir_common(i_verify)
+    i_verify.set_defaults(func=_cmd_ir)
+    i_opt = ir_sub.add_parser(
+        "optimize",
+        help="run a pass pipeline and report the predicted traffic delta",
+    )
+    _ir_common(i_opt)
+    i_opt.add_argument(
+        "--passes", default="fuse,rle,cse,dse", metavar="P,P,...",
+        help="pass pipeline (fuse, rle, cse, dse, tile=TxTxT); "
+             "default: fuse,rle,cse,dse",
+    )
+    i_opt.add_argument(
+        "--shape", default="256x256x256", metavar="NxNxN",
+        help="grid shape the traffic model prices (default: 256x256x256)",
+    )
+    i_opt.add_argument(
+        "--exact", action="store_true",
+        help="use the exact LRU cache simulator instead of the analytic "
+             "streaming model (small shapes only)",
+    )
+    i_opt.add_argument(
+        "--capacity-bytes", type=int, default=None, metavar="B",
+        help="with --exact: cache capacity in bytes (default: the GCD's "
+             "8 MiB TCC)",
+    )
+    i_opt.set_defaults(func=_cmd_ir)
 
     p_tr = sub.add_parser("trace", help="summarize a Chrome trace JSON file")
     p_tr.add_argument("trace", help="path to a trace written by run --trace-out")

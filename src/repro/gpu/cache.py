@@ -164,6 +164,87 @@ class StencilTrafficModel:
             passes_by_array=passes_by_array,
         )
 
+    def estimate_func(
+        self,
+        func,
+        shape: tuple[int, int, int],
+        itemsize: int | None = None,
+    ) -> TrafficEstimate:
+        """Traffic for one launch of a (possibly rewritten) stencil func.
+
+        Accepts a :class:`repro.ir.core.StencilFunc` — including
+        post-rewrite IR, which is the whole point: fusion/RLE shrink
+        ``loads_by_array`` and the estimate answers the counterfactual.
+        A tiled func (``func.tile`` set by the tiling pass) is modeled
+        with tile-local working sets plus per-tile halo refetch.
+        """
+        itemsize = itemsize if itemsize is not None else func.itemsize
+        loads = func.loads_by_array()
+        stores = func.stores_by_array()
+        if func.tile is None:
+            return self.estimate(shape, itemsize, loads, stores)
+        return self._estimate_tiled(
+            shape, itemsize, loads, stores, tuple(func.tile)
+        )
+
+    def _estimate_tiled(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        loads_by_array: dict[str, set[tuple[int, ...]]],
+        stores_by_array: dict[str, set[tuple[int, ...]]],
+        tile: tuple[int, ...],
+    ) -> TrafficEstimate:
+        """Tile-local working sets: passes shrink, halo refetch grows.
+
+        The working-set test runs over tile-plane bytes instead of
+        array-plane bytes (a tile small enough to hold its z working
+        set streams each array once), but every tile re-fetches its
+        per-axis stencil halo, a multiplicative ``(t + ext) / t``
+        factor per axis.
+        """
+        if len(shape) != 3:
+            raise GpuError(f"traffic model expects 3D arrays, got shape {shape}")
+        t = tuple(min(int(ti), int(ni)) for ti, ni in zip(tile, shape))
+        cells = int(np.prod(shape))
+        array_bytes = cells * itemsize
+        lines = math.ceil(array_bytes / self.spec.cache_line_bytes)
+
+        fetch = 0.0
+        requests = 0.0
+        misses = 0.0
+        passes_by_array: dict[str, int] = {}
+
+        for name, offsets in loads_by_array.items():
+            tile_shape = (t[0], t[1], shape[2])
+            passes = self.passes_for(tile_shape, itemsize, offsets)
+            passes_by_array[name] = passes
+            refetch = 1.0
+            for axis in range(3):
+                ext = (
+                    max(o[axis] for o in offsets)
+                    - min(o[axis] for o in offsets)
+                )
+                refetch *= (t[axis] + ext) / t[axis]
+            fetch += passes * array_bytes * refetch
+            requests += len(offsets) * lines
+            misses += min(len(offsets) * lines, passes * lines * refetch)
+
+        write = 0.0
+        for name, offsets in stores_by_array.items():
+            write += len(offsets) * array_bytes
+            requests += len(offsets) * lines
+            misses += len(offsets) * lines  # streaming stores: no reuse
+
+        return TrafficEstimate(
+            fetch_bytes=fetch,
+            write_bytes=write,
+            tcc_requests=requests,
+            tcc_hits=max(0.0, requests - misses),
+            tcc_misses=misses,
+            passes_by_array=passes_by_array,
+        )
+
 
 #: plan entry for one access stream: (base_address, di, dj, dk, is_load)
 _PlanEntry = tuple[int, int, int, int, bool]
@@ -411,6 +492,108 @@ class TraceCacheSim:
             tcc_requests=float(requests),
             tcc_hits=float(self.hits),
             tcc_misses=float(self.misses),
+            passes_by_array={},
+        )
+
+    def multi_sweep_func(
+        self,
+        func,
+        shape: tuple[int, int, int],
+        itemsize: int | None = None,
+        *,
+        engine: str = "auto",
+    ) -> TrafficEstimate:
+        """Exact counters for one launch of a (post-rewrite) stencil func.
+
+        Accepts a :class:`repro.ir.core.StencilFunc`; the access stream
+        is derived from the func's (possibly rewritten) load/store
+        offset sets, so simulating the same func before and after a
+        pass pipeline measures exactly what the rewrite changed. A
+        tiled func replays a tile-blocked traversal (scalar engine).
+        """
+        itemsize = itemsize if itemsize is not None else func.itemsize
+        loads = func.loads_by_array()
+        stores = func.stores_by_array()
+        if func.tile is None:
+            return self.multi_sweep(
+                shape, itemsize, loads, stores, engine=engine
+            )
+        return self._multi_sweep_tiled(
+            shape, itemsize, loads, stores, tuple(func.tile)
+        )
+
+    def _multi_sweep_tiled(
+        self,
+        shape: tuple[int, int, int],
+        itemsize: int,
+        loads_by_array: dict[str, set[tuple[int, ...]]],
+        stores_by_array: dict[str, set[tuple[int, ...]]],
+        tile: tuple[int, ...],
+    ) -> TrafficEstimate:
+        """Tile-blocked exact replay: tiles in Fortran order, cells within.
+
+        Same plan construction as :meth:`multi_sweep`; only the cell
+        visit order changes — which is precisely what tiling does, and
+        what the LRU state observes.
+        """
+        n0, n1, n2 = shape
+        array_bytes = n0 * n1 * n2 * itemsize
+        span = -(-array_bytes // 4096) * 4096 + 4096
+        bases: dict[str, int] = {}
+        for name in list(loads_by_array) + [
+            s for s in stores_by_array if s not in loads_by_array
+        ]:
+            bases[name] = len(bases) * span
+
+        plan: list[_PlanEntry] = []
+        for name, offsets in loads_by_array.items():
+            for di, dj, dk in sorted(offsets):
+                plan.append((bases[name], di, dj, dk, True))
+        n_load_accesses = len(plan)
+        for name, offsets in stores_by_array.items():
+            for di, dj, dk in sorted(offsets):
+                plan.append((bases[name], di, dj, dk, False))
+        radius = max(
+            (abs(d) for _, di, dj, dk, _ in plan for d in (di, dj, dk)),
+            default=0,
+        )
+        self._validate_radius(shape, radius)
+        if self._dense is not None:
+            self._materialize()
+        stride = (itemsize, n0 * itemsize, n0 * n1 * itemsize)
+        lo, hi = radius, tuple(n - radius for n in shape)
+        t = tuple(max(1, int(x)) for x in tile)
+        ncells = 0
+        fetch_misses_before = self.load_misses
+        hits_before, misses_before = self.hits, self.misses
+        for tk in range(lo, hi[2], t[2]):
+            for tj in range(lo, hi[1], t[1]):
+                for ti in range(lo, hi[0], t[0]):
+                    for k in range(tk, min(tk + t[2], hi[2])):
+                        for j in range(tj, min(tj + t[1], hi[1])):
+                            for i in range(ti, min(ti + t[0], hi[0])):
+                                ncells += 1
+                                cell = (
+                                    i * stride[0] + j * stride[1]
+                                    + k * stride[2]
+                                )
+                                for base, di, dj, dk, is_load in plan:
+                                    addr = (
+                                        base + cell + di * stride[0]
+                                        + dj * stride[1] + dk * stride[2]
+                                    )
+                                    self.access(
+                                        addr // self.line_bytes,
+                                        is_load=is_load,
+                                    )
+        fetch = (self.load_misses - fetch_misses_before) * self.line_bytes
+        write_accesses = ncells * (len(plan) - n_load_accesses)
+        return TrafficEstimate(
+            fetch_bytes=float(fetch),
+            write_bytes=float(write_accesses * itemsize),
+            tcc_requests=float(ncells * len(plan)),
+            tcc_hits=float(self.hits - hits_before),
+            tcc_misses=float(self.misses - misses_before),
             passes_by_array={},
         )
 

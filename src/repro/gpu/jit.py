@@ -386,6 +386,13 @@ class KernelTrace:
     #: (kind, detail) records of integer values escaping into float
     #: dataflow ("sitofp", "int-store") — @code_warntype-style evidence
     type_escapes: list[tuple[str, str]] = field(default_factory=list)
+    #: structured op records mirroring ``ir_lines`` — the input for
+    #: :func:`repro.ir.from_trace`. One tuple per emitted IR line:
+    #: ("load", ssa, array, exprs) / ("arith", ssa, op, a_ssa, b_ssa) /
+    #: ("rand", ssa, keys) / ("store", array, exprs, value_ssa).
+    #: Loads are CSE'd exactly like ``ir_lines``: a repeated load of the
+    #: same address re-uses the first record's SSA and adds no op.
+    ops: list[tuple] = field(default_factory=list)
     _load_ssa: dict[tuple, str] = field(default_factory=dict)
 
     @property
@@ -459,6 +466,7 @@ class Tracer:
             return self.trace._load_ssa[key]
         ssa = self.fresh_ssa()
         self.trace._load_ssa[key] = ssa
+        self.trace.ops.append(("load", ssa, array, exprs))
         self.trace.ir_lines.append(
             f"{ssa} = load double, double addrspace(1)* %{array}.ptr, align 8"
             f"  ; {access}"
@@ -468,6 +476,7 @@ class Tracer:
     def record_store(self, array: str, exprs: tuple[Affine, ...], value_ssa: str) -> None:
         access = MemoryAccess(array, exprs)
         self.trace.stores.append(access)
+        self.trace.ops.append(("store", array, exprs, value_ssa))
         self.trace.ir_lines.append(
             f"store double {value_ssa}, double addrspace(1)* %{array}.ptr, align 8"
             f"  ; {access}"
@@ -475,15 +484,25 @@ class Tracer:
 
     def record_arith(self, op: str, result_ssa: str, a_ssa: str, b_ssa: str) -> None:
         self.trace.arith_ops[op] = self.trace.arith_ops.get(op, 0) + 1
+        self.trace.ops.append(("arith", result_ssa, op, a_ssa, b_ssa))
         self.trace.ir_lines.append(
             f"{result_ssa} = {op} double {a_ssa}, {b_ssa}"
         )
 
-    def record_rand(self) -> None:
+    def record_rand(self, keys: tuple = ()) -> str:
+        """Record a device RNG call; ``keys`` are Affine exprs or ints.
+
+        Returns the SSA name of the sample so the caller can thread it
+        into the value dataflow (the rand result is a first-class SSA
+        value, not a side effect).
+        """
         self.trace.rand_calls += 1
+        ssa = self.fresh_ssa()
+        self.trace.ops.append(("rand", ssa, tuple(keys)))
         self.trace.ir_lines.append(
-            f"{self.fresh_ssa()} = call double @device_uniform()  ; rand(Uniform(-1,1))"
+            f"{ssa} = call double @device_uniform()  ; rand(Uniform(-1,1))"
         )
+        return ssa
 
     def record_type_escape(self, kind: str, detail: str) -> None:
         self.trace.type_escapes.append((kind, detail))

@@ -54,9 +54,12 @@ def counter_uniform(*keys) -> float:
     traced = [k for k in keys if isinstance(k, TracedInt)]
     if traced:
         tracer = traced[0].tracer
-        tracer.record_rand()
+        symbolic = tuple(
+            k.expr if isinstance(k, TracedInt) else int(k) for k in keys
+        )
+        ssa = tracer.record_rand(symbolic)
         concrete = counter_uniform(*[int(k) for k in keys])
-        return TracedFloat(tracer, concrete)
+        return TracedFloat(tracer, concrete, ssa)
     h = counter_hash(*keys)
     # 53 random mantissa bits -> [0, 1), then map to [-1, 1).
     return (h >> 11) * (2.0**-53) * 2.0 - 1.0

@@ -1,0 +1,102 @@
+"""Builders: trace the workflow's kernels into a named-array module.
+
+The lint runner traces kernels over anonymous scratch arrays (names
+``arg0``…), which is fine for per-kernel rules but loses the buffer
+identities cross-kernel analyses need: fusion legality hinges on which
+launches touch the *same* buffer. These builders trace the built-in
+Gray-Scott kernels over named scratch arrays (``u``, ``v``, ``u_new``,
+``v_new``, ``lap``) so :func:`repro.ir.analysis.cross_dependences` sees
+the workflow's real dataflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import GrayScottParams
+from repro.gpu.jit import trace_kernel
+from repro.ir.core import Module, StencilFunc, from_trace
+
+#: per-axis extent of the scratch arrays (any value >= 4 yields the
+#: same affine trace; matches the lint runner's TRACE_EXTENT)
+TRACE_EXTENT = 12
+
+
+class NamedArray(np.ndarray):
+    """ndarray view carrying a ``name`` the tracer picks up."""
+
+    name: str
+
+
+def named(data: np.ndarray, name: str) -> NamedArray:
+    view = data.view(NamedArray)
+    view.name = name
+    return view
+
+
+def _scratch(name: str, dtype, *, extent: int = TRACE_EXTENT) -> NamedArray:
+    return named(
+        np.ones((extent,) * 3, dtype=dtype, order="F"), name
+    )
+
+
+def gray_scott_func(
+    params: GrayScottParams | None = None,
+    *,
+    dtype="float64",
+    seed: int = 42,
+    extent: int = TRACE_EXTENT,
+) -> StencilFunc:
+    """Trace the application kernel into a func over u/v/u_new/v_new."""
+    from repro.core.stencil import kernel_args, make_gray_scott_kernel
+
+    params = params if params is not None else GrayScottParams()
+    dtype = np.dtype(dtype)
+    u = _scratch("u", dtype, extent=extent)
+    v = _scratch("v", dtype, extent=extent)
+    u_new = _scratch("u_new", dtype, extent=extent)
+    v_new = _scratch("v_new", dtype, extent=extent)
+    args = kernel_args(u, v, u_new, v_new, params, seed=seed, step=0)
+    trace = trace_kernel(make_gray_scott_kernel(), args)
+    return from_trace(trace, ghost=1)
+
+
+def laplacian_func(
+    params: GrayScottParams | None = None,
+    *,
+    dtype="float64",
+    extent: int = TRACE_EXTENT,
+) -> StencilFunc:
+    """Trace the 1-variable diagnostic kernel over u -> lap."""
+    from repro.core.stencil import make_laplacian_kernel
+
+    params = params if params is not None else GrayScottParams()
+    dtype = np.dtype(dtype)
+    u = _scratch("u", dtype, extent=extent)
+    lap = _scratch("lap", dtype, extent=extent)
+    shape = (extent,) * 3
+    args = (u, lap, shape, params.Du, params.dt)
+    trace = trace_kernel(make_laplacian_kernel(), args)
+    return from_trace(trace, ghost=1)
+
+
+def workflow_module(settings=None, *, extent: int = TRACE_EXTENT) -> Module:
+    """The per-step launch sequence as a module: application + diagnostic.
+
+    ``settings`` (a :class:`~repro.core.settings.GrayScottSettings`)
+    supplies precision, params, and seed when given; defaults match the
+    lint runner's trace harness otherwise. Both kernels read ``u``, and
+    each writes its own output buffer — the module-level reuse stencil
+    fusion + RLE recover.
+    """
+    if settings is not None:
+        params = settings.params()
+        dtype = settings.precision
+        seed = settings.seed
+    else:
+        params = GrayScottParams()
+        dtype = "float64"
+        seed = 42
+    gs = gray_scott_func(params, dtype=dtype, seed=seed, extent=extent)
+    lap = laplacian_func(params, dtype=dtype, extent=extent)
+    return Module(name="gray_scott_step", funcs=(gs, lap))

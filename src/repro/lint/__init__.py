@@ -40,7 +40,13 @@ from repro.lint.diagnostics import (
     Severity,
     check_rule_ids,
 )
-from repro.lint.kernels import analyze_kernel_trace, check_occupancy, lint_kernel
+from repro.lint.kernels import (
+    analyze_ir_func,
+    analyze_kernel_trace,
+    check_ir_func,
+    check_occupancy,
+    lint_kernel,
+)
 from repro.lint.mpiplan import (
     CommPlan,
     PlanOp,
@@ -61,8 +67,10 @@ __all__ = [
     "Severity",
     "WriterOp",
     "WriterScript",
+    "analyze_ir_func",
     "analyze_kernel_trace",
     "cart_shift",
+    "check_ir_func",
     "check_occupancy",
     "check_plan",
     "check_rule_ids",

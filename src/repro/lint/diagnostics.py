@@ -106,6 +106,28 @@ GPU_OCCUPANCY = _rule(
     "lose bandwidth below ~75% occupancy)",
 )
 
+# -- stencil-IR rules (repro.ir analyses, reported via repro.lint) ----------
+IR_REDUNDANT_LOAD = _rule(
+    "IR-REDUNDANT-LOAD", "gpu", Severity.WARNING,
+    "a load reads an address already live in a register (redundant-load "
+    "elimination would remove it)",
+)
+IR_DEAD_STORE = _rule(
+    "IR-DEAD-STORE", "gpu", Severity.WARNING,
+    "a store is overwritten before any possible read (dead-store "
+    "elimination would remove it)",
+)
+IR_FUSION_MISSED = _rule(
+    "IR-FUSION-MISSED", "gpu", Severity.INFO,
+    "adjacent kernel launches re-load shared inputs; stencil fusion is "
+    "legal and would eliminate the re-loads",
+)
+IR_CSE = _rule(
+    "IR-CSE", "gpu", Severity.INFO,
+    "floating-point subexpressions are computed more than once per cell "
+    "(common-subexpression merge would cut flops)",
+)
+
 # -- MPI plan rules (repro.lint.mpiplan) ------------------------------------
 MPI_DEADLOCK = _rule(
     "MPI-DEADLOCK", "mpi", Severity.ERROR,
@@ -204,6 +226,11 @@ class Diagnostic:
     location: str
     message: str
     hint: str = ""
+    #: canonical fingerprint key: the finding's *subject* in a stable
+    #: form (e.g. the affine access ``u[z + 2, y, x]``), independent of
+    #: message wording — the SARIF ``partialFingerprints`` input. Empty
+    #: means the message itself is the subject.
+    key: str = ""
 
     def render(self) -> str:
         text = f"{self.severity.label}[{self.rule}] {self.location}: {self.message}"
@@ -229,6 +256,7 @@ class LintReport:
         *,
         hint: str = "",
         severity: Severity | None = None,
+        key: str = "",
     ) -> Diagnostic:
         diag = Diagnostic(
             rule=rule.id,
@@ -237,6 +265,7 @@ class LintReport:
             location=location,
             message=message,
             hint=hint,
+            key=key,
         )
         self.diagnostics.append(diag)
         return diag

@@ -1,27 +1,35 @@
-"""Kernel-IR analyzer: bounds, races, coalescing, type stability.
+"""Kernel lint rules over the shared stencil IR.
 
-Operates on the :class:`~repro.gpu.jit.KernelTrace` the tracing JIT
-produces — the same affine load/store records the paper reads off
-Julia's LLVM-IR in Listing 4 — so every check runs *without executing
-the workload*:
+The checks operate on the :class:`~repro.ir.StencilFunc` that
+:func:`repro.ir.from_trace` promotes from the tracing JIT's
+:class:`~repro.gpu.jit.KernelTrace` — the same affine load/store facts
+the paper reads off Julia's LLVM-IR in Listing 4 — so every rule runs
+*without executing the workload*. The dataflow itself lives in
+:mod:`repro.ir.analysis`; this module only formats the analysis results
+into diagnostics, so the lint and the rewrite passes share one
+computation per func (via :class:`~repro.ir.AnalysisContext`) instead
+of each re-walking the ops:
 
-- **KRN-BOUNDS** — an access offset larger than the ghost width means
-  a guarded interior workitem still reaches outside the allocated halo
-  (``u[i + 2, j, k]`` with one ghost layer reads past the array).
-- **KRN-GHOST-WRITE** — a store into the halo region is legal but gets
-  clobbered by the next exchange; almost always an index bug.
-- **KRN-RACE** — write-write races are found by solving affine index
-  equality between distinct workitems over (a sample of) the launch
-  grid: if two different workitems evaluate a store address to the same
-  cell, the kernel's output depends on scheduling.
-- **KRN-STRIDE** — coalescing: the contiguous (Fortran-leading) axis
-  of every array access should be addressed by some launch symbol with
-  coefficient ±1; |coeff| > 1 or a symbol-free contiguous axis means
-  each wavefront touches strided memory.
+- **KRN-BOUNDS / KRN-GHOST-WRITE** — :func:`~repro.ir.halo_analysis`:
+  stencil offsets beyond the ghost depth (``u[i + 2, j, k]`` with one
+  ghost layer reads past the array), stores landing in the halo, and
+  absolute out-of-bounds subscripts.
+- **KRN-RACE** — :func:`~repro.ir.race_analysis`: write-write races by
+  affine address-equality solving between distinct workitems over a
+  sample of the launch grid.
+- **KRN-STRIDE** — :func:`~repro.ir.stride_analysis`: the contiguous
+  (Fortran-leading) axis of every access should be covered by some
+  launch symbol with coefficient ±1.
 - **KRN-TYPE-MIX / KRN-INT-ESCAPE / KRN-RAND** — ``@code_warntype``
-  style diagnostics: float32/float64 array mixing, traced integers
-  escaping into float dataflow (LLVM ``sitofp`` in the hot loop), and
-  device RNG calls (which cost LDS/scratch on AMDGPU, Table 3).
+  style diagnostics from the func's metadata: float32/float64 array
+  mixing, traced integers escaping into float dataflow, device RNG
+  calls (which cost LDS/scratch on AMDGPU, Table 3).
+
+:func:`check_ir_func` adds the optimizer-backed rules —
+IR-REDUNDANT-LOAD, IR-DEAD-STORE, IR-CSE — for IR that did *not* come
+from the CSE'ing tracer (hand-written or external IR); the production
+tracer folds these at record time, so they are reported only when
+explicitly requested (``grayscott ir`` / ``lint --passes``).
 
 A clean analysis still records **facts**: the kernel's unique
 load/store counts (the paper's "no hidden memory traffic" invariant),
@@ -30,7 +38,6 @@ flop count, and rand calls.
 
 from __future__ import annotations
 
-from itertools import product
 from typing import TYPE_CHECKING
 
 from repro.lint import diagnostics as D
@@ -39,19 +46,12 @@ from repro.lint.diagnostics import LintReport
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.jit import KernelTrace, MemoryAccess
     from repro.gpu.kernel import Kernel
-
-#: how many workitems per symbol the race solver enumerates; affine
-#: collisions over a box are visible within any window this wide that
-#: covers coefficient differences up to +/- RACE_SAMPLE - 1
-RACE_SAMPLE = 4
+    from repro.ir.analysis import AnalysisContext
+    from repro.ir.core import StencilFunc
 
 
 def _fmt_access(acc: "MemoryAccess") -> str:
     return str(acc)
-
-
-def _symbols_of(acc: "MemoryAccess") -> set[str]:
-    return {sym for expr in acc.exprs for sym, _ in expr.linear_part}
 
 
 def analyze_kernel_trace(
@@ -60,19 +60,38 @@ def analyze_kernel_trace(
     ghost: int = 1,
     report: LintReport | None = None,
 ) -> LintReport:
-    """Run every kernel rule over one trace; returns the report."""
+    """Run every kernel rule over one trace; returns the report.
+
+    The trace is promoted to a stencil func first, so the rules consume
+    the shared IR analyses rather than re-walking the raw trace.
+    """
+    from repro.ir.core import from_trace
+
+    return analyze_ir_func(from_trace(trace, ghost=ghost), report=report)
+
+
+def analyze_ir_func(
+    func: "StencilFunc",
+    *,
+    report: LintReport | None = None,
+    ctx: "AnalysisContext | None" = None,
+) -> LintReport:
+    """Run the KRN-* rules over one stencil func via the IR analyses."""
+    from repro.ir.analysis import AnalysisContext
+
     report = report if report is not None else LintReport()
-    where = f"kernel:{trace.kernel_name}"
+    ctx = ctx if ctx is not None else AnalysisContext(func)
+    where = f"kernel:{func.name}"
 
-    _check_bounds(trace, ghost, report, where)
-    _check_races(trace, report, where)
-    _check_coalescing(trace, report, where)
-    _check_type_stability(trace, report, where)
+    _report_halo(ctx, report, where)
+    _report_races(ctx, report, where)
+    _report_strides(ctx, report, where)
+    _report_type_stability(func, report, where)
 
-    report.record_fact(f"{where}.unique_loads", len(trace.unique_loads))
-    report.record_fact(f"{where}.unique_stores", len(trace.unique_stores))
-    report.record_fact(f"{where}.flops", trace.flops)
-    report.record_fact(f"{where}.rand_calls", trace.rand_calls)
+    report.record_fact(f"{where}.unique_loads", len(func.unique_loads))
+    report.record_fact(f"{where}.unique_stores", len(func.unique_stores))
+    report.record_fact(f"{where}.flops", func.flops)
+    report.record_fact(f"{where}.rand_calls", func.rand_calls)
     return report
 
 
@@ -131,6 +150,7 @@ def check_occupancy(
                  "workgroups fit per CU; memory-bound kernels need "
                  f"~{OCCUPANCY_THRESHOLD * 100:.0f}%+ occupancy to "
                  "cover HBM latency",
+            key=f"{backend.name}:{result.occupancy:.3f}",
         )
     return report
 
@@ -138,152 +158,92 @@ def check_occupancy(
 # -- bounds / halo ----------------------------------------------------------
 
 
-def _check_bounds(trace, ghost: int, report: LintReport, where: str) -> None:
-    for kind, accesses in (("load", trace.unique_loads),
-                           ("store", trace.unique_stores)):
-        for acc in accesses:
-            shape = trace.array_shapes.get(acc.array, ())
-            for axis, expr in enumerate(acc.exprs):
-                off = expr.const
-                if expr.linear_part:
-                    # symbolic axis: the constant is a stencil offset
-                    # relative to the guarded interior workitem, which
-                    # may roam the whole interior — |offset| must fit
-                    # inside the halo
-                    if abs(off) > ghost:
-                        report.add(
-                            D.KRN_BOUNDS, where,
-                            f"{kind} {_fmt_access(acc)} reaches offset "
-                            f"{off:+d} on axis {axis} but the halo is only "
-                            f"{ghost} deep",
-                            hint=f"widen the ghost region to {abs(off)} "
-                                 f"layers or shrink the stencil",
-                        )
-                    elif kind == "store" and off != 0:
-                        report.add(
-                            D.KRN_GHOST_WRITE, where,
-                            f"store {_fmt_access(acc)} lands {off:+d} cells "
-                            f"into the halo on axis {axis}",
-                            hint="the next ghost exchange overwrites halo "
-                                 "cells; store to the workitem's own cell",
-                        )
-                elif axis < len(shape) and not 0 <= off < shape[axis]:
-                    # constant axis: an absolute index into the array
-                    report.add(
-                        D.KRN_BOUNDS, where,
-                        f"{kind} {_fmt_access(acc)} uses absolute index "
-                        f"{off} on axis {axis} of extent {shape[axis]}",
-                        hint="absolute indices must stay inside the "
-                             "allocated array",
-                    )
+def _report_halo(ctx, report: LintReport, where: str) -> None:
+    for finding in ctx.halo:
+        acc, axis, off = finding.access, finding.axis, finding.offset
+        key = f"{finding.category}:{_fmt_access(acc)}:axis{axis}"
+        if finding.category == "stencil-overrun":
+            report.add(
+                D.KRN_BOUNDS, where,
+                f"{finding.kind} {_fmt_access(acc)} reaches offset "
+                f"{off:+d} on axis {axis} but the halo is only "
+                f"{finding.extent} deep",
+                hint=f"widen the ghost region to {abs(off)} "
+                     f"layers or shrink the stencil",
+                key=key,
+            )
+        elif finding.category == "halo-store":
+            report.add(
+                D.KRN_GHOST_WRITE, where,
+                f"store {_fmt_access(acc)} lands {off:+d} cells "
+                f"into the halo on axis {axis}",
+                hint="the next ghost exchange overwrites halo "
+                     "cells; store to the workitem's own cell",
+                key=key,
+            )
+        else:  # absolute-oob
+            report.add(
+                D.KRN_BOUNDS, where,
+                f"{finding.kind} {_fmt_access(acc)} uses absolute index "
+                f"{off} on axis {axis} of extent {finding.extent}",
+                hint="absolute indices must stay inside the "
+                     "allocated array",
+                key=key,
+            )
 
 
 # -- write-write races ------------------------------------------------------
 
 
-def _check_races(trace, report: LintReport, where: str) -> None:
-    """Solve affine address equality between distinct workitems.
-
-    All stores to one array are evaluated at every workitem of a small
-    sample grid; two *distinct* workitems producing the same concrete
-    address is a write-write race. Affine addresses collide within a
-    window of ``RACE_SAMPLE`` per symbol whenever they collide at all
-    (for the coefficient magnitudes kernels actually use), so the
-    enumeration is a sound, cheap stand-in for an ILP solve.
-    """
-    by_array: dict[str, list] = {}
-    for acc in trace.unique_stores:
-        by_array.setdefault(acc.array, []).append(acc)
-
-    # the launch footprint is inferred from *every* symbol the trace
-    # observed (loads included): a store that ignores one of them is
-    # written by all workitems along that symbol — the classic race
-    symbols = sorted(
-        {sym for acc in [*trace.unique_loads, *trace.unique_stores]
-         for sym in _symbols_of(acc)}
-    )
-    grid = list(product(range(RACE_SAMPLE), repeat=len(symbols)))
-    for array, accesses in by_array.items():
-        seen: dict[tuple, tuple] = {}  # address -> (workitem, access)
-        reported = set()
-        for acc in accesses:
-            for point in grid:
-                assignment = dict(zip(symbols, point))
-                address = tuple(e.evaluate(assignment) for e in acc.exprs)
-                prior = seen.get(address)
-                if prior is None:
-                    seen[address] = (point, acc)
-                    continue
-                prior_point, prior_acc = prior
-                if prior_point == point:
-                    continue
-                key = (prior_acc.linear_signature(), acc.linear_signature(),
-                       prior_acc.stencil_offset(), acc.stencil_offset())
-                if key in reported:
-                    continue
-                reported.add(key)
-                report.add(
-                    D.KRN_RACE, where,
-                    f"workitems {dict(zip(symbols, prior_point))} and "
-                    f"{dict(zip(symbols, point))} both write "
-                    f"{array}{list(address)} (via {_fmt_access(prior_acc)} "
-                    f"and {_fmt_access(acc)})",
-                    hint="make the store address injective in the launch "
-                         "symbols (one output cell per workitem)",
-                )
+def _report_races(ctx, report: LintReport, where: str) -> None:
+    for f in ctx.races:
+        report.add(
+            D.KRN_RACE, where,
+            f"workitems {dict(zip(f.symbols, f.point_a))} and "
+            f"{dict(zip(f.symbols, f.point_b))} both write "
+            f"{f.array}{list(f.address)} (via {_fmt_access(f.access_a)} "
+            f"and {_fmt_access(f.access_b)})",
+            hint="make the store address injective in the launch "
+                 "symbols (one output cell per workitem)",
+            key=f"{_fmt_access(f.access_a)}|{_fmt_access(f.access_b)}",
+        )
 
 
 # -- coalescing -------------------------------------------------------------
 
 
-def _check_coalescing(trace, report: LintReport, where: str) -> None:
-    """The contiguous axis (Fortran axis 0) should be unit-stride.
-
-    The device model is wavefront-order agnostic (the TCC cache model
-    consumes offset sets, not lane order), so any launch symbol with
-    coefficient ±1 on the leading axis counts as coalesced; a strided
-    coefficient or a symbol-free leading axis on a multi-symbol access
-    does not.
-    """
-    flagged = set()
-    for acc in [*trace.unique_loads, *trace.unique_stores]:
-        if not acc.exprs or not _symbols_of(acc):
-            continue
-        key = (acc.array, acc.linear_signature())
-        if key in flagged:
-            continue
-        leading = acc.exprs[0]
-        coeffs = [c for _, c in leading.linear_part]
-        if any(abs(c) > 1 for c in coeffs):
-            flagged.add(key)
+def _report_strides(ctx, report: LintReport, where: str) -> None:
+    for f in ctx.strides:
+        if f.category == "strided":
             report.add(
                 D.KRN_STRIDE, where,
-                f"access {_fmt_access(acc)} strides the contiguous axis "
-                f"by {max(abs(c) for c in coeffs)}",
+                f"access {_fmt_access(f.access)} strides the contiguous axis "
+                f"by {f.stride}",
                 hint="unit-stride the fastest array axis for coalesced "
                      "wavefront accesses",
+                key=f"strided:{_fmt_access(f.access)}",
             )
-        elif not coeffs and len(acc.exprs) > 1:
-            flagged.add(key)
+        else:  # constant-leading
             report.add(
                 D.KRN_STRIDE, where,
-                f"access {_fmt_access(acc)} holds the contiguous axis "
+                f"access {_fmt_access(f.access)} holds the contiguous axis "
                 f"constant; consecutive workitems touch strided memory",
                 hint="map a launch symbol onto the leading (contiguous) "
                      "array axis",
+                key=f"constant-leading:{_fmt_access(f.access)}",
             )
 
 
 # -- type stability ---------------------------------------------------------
 
 
-def _check_type_stability(trace, report: LintReport, where: str) -> None:
+def _report_type_stability(func, report: LintReport, where: str) -> None:
     float_dtypes = sorted(
-        {d for d in trace.array_dtypes.values() if d.startswith("float")}
+        {d for d in func.array_dtypes.values() if d.startswith("float")}
     )
     if len(float_dtypes) > 1:
         owners = {
-            d: sorted(n for n, dt in trace.array_dtypes.items() if dt == d)
+            d: sorted(n for n, dt in func.array_dtypes.items() if dt == d)
             for d in float_dtypes
         }
         detail = "; ".join(f"{d}: {', '.join(n)}" for d, n in owners.items())
@@ -293,18 +253,82 @@ def _check_type_stability(trace, report: LintReport, where: str) -> None:
             hint="pick one floating precision per kernel; mixed precision "
                  "inserts converts on every access (@code_warntype would "
                  "show the union type)",
+            key=detail,
         )
-    for kind, detail in trace.type_escapes:
+    for kind, detail in func.type_escapes:
         report.add(
             D.KRN_INT_ESCAPE, where,
             f"{kind}: {detail}",
             hint="keep index arithmetic out of floating dataflow; hoist "
                  "the conversion outside the hot loop",
+            key=f"{kind}:{detail}",
         )
-    if trace.rand_calls:
+    if func.rand_calls:
         report.add(
             D.KRN_RAND, where,
-            f"{trace.rand_calls} device RNG call(s) in the kernel body",
+            f"{func.rand_calls} device RNG call(s) in the kernel body",
             hint="RNG state costs LDS + scratch on AMDGPU (Table 3); "
                  "counter-based generators keep runs reproducible",
+            key=f"rand:{func.rand_calls}",
         )
+
+
+# -- optimizer-backed rules (explicit IR linting only) ----------------------
+
+
+def check_ir_func(
+    func: "StencilFunc",
+    *,
+    report: LintReport | None = None,
+    ctx: "AnalysisContext | None" = None,
+) -> LintReport:
+    """IR-REDUNDANT-LOAD / IR-DEAD-STORE / IR-CSE over one func.
+
+    These rules report what the rewrite passes *would* remove. The
+    production tracer CSE's loads at record time, so funcs built by
+    :func:`~repro.ir.from_trace` never trip IR-REDUNDANT-LOAD — the
+    rules exist for hand-written or externally lowered IR and are run
+    only on request (``grayscott ir verify`` / ``lint --passes``), not
+    in the default :func:`lint_kernel` path.
+    """
+    from repro.ir.analysis import AnalysisContext
+    from repro.ir.core import LoadOp
+
+    report = report if report is not None else LintReport()
+    ctx = ctx if ctx is not None else AnalysisContext(func)
+    where = f"kernel:{func.name}"
+
+    for group in ctx.redundant:
+        canonical = func.ops[group.canonical]
+        assert isinstance(canonical, LoadOp)
+        report.add(
+            D.IR_REDUNDANT_LOAD, where,
+            f"{len(group.duplicates)} redundant load(s) of "
+            f"{_fmt_access(canonical.access)}; the value is already live "
+            f"in {canonical.result}",
+            hint="run the rle pass (or reuse the first load's SSA value) "
+                 "to drop the re-fetch",
+            key=f"rle:{_fmt_access(canonical.access)}",
+        )
+    for dead in ctx.reaching.dead_stores:
+        over = func.ops[dead.overwritten_by]
+        report.add(
+            D.IR_DEAD_STORE, where,
+            f"store {_fmt_access(dead.store.access)} at op {dead.index} is "
+            f"overwritten by op {dead.overwritten_by} "
+            f"({_fmt_access(over.access)}) before any possible read",
+            hint="run the dse pass or drop the first store; its value can "
+                 "never be observed",
+            key=f"dse:{_fmt_access(dead.store.access)}:{dead.index}",
+        )
+    for group in ctx.cse:
+        canonical = func.ops[group.canonical]
+        report.add(
+            D.IR_CSE, where,
+            f"{len(group.duplicates)} op(s) recompute the value of "
+            f"{canonical.result} (op {group.canonical})",
+            hint="run the cse pass to fold repeated pure subexpressions "
+                 "into one definition",
+            key=f"cse:{canonical.result}:{group.canonical}",
+        )
+    return report

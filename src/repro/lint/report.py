@@ -8,8 +8,31 @@ with the repo's checked facts and severity counts attached under
 
 from __future__ import annotations
 
+import hashlib
+
 from repro._version import __version__
-from repro.lint.diagnostics import RULES, SARIF_LEVELS, LintReport, Severity
+from repro.lint.diagnostics import (
+    RULES,
+    SARIF_LEVELS,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+
+
+def stable_fingerprint(diag: Diagnostic) -> str:
+    """A run-order-insensitive identity for one finding.
+
+    Keyed on the rule, the logical location, and the diagnostic's
+    canonical ``key`` (the affine access / subject in canonical form)
+    — *not* on the message wording — so re-running the lint, reordering
+    analyzers, or rewording a message template's prose keeps (or
+    changes) fingerprints for the right reasons. Diffs across runs can
+    match results on ``partialFingerprints`` alone.
+    """
+    subject = diag.key if diag.key else diag.message
+    payload = f"{diag.rule}|{diag.location}|{subject}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:24]
 
 
 def render_text(report: LintReport, *, title: str = "lint report") -> str:
@@ -66,6 +89,13 @@ def to_sarif(report: LintReport) -> dict:
         for rule_id, rule in sorted(RULES.items())
         if rule_id in used
     ]
+    # deterministic, run-order-insensitive result listing: sort by
+    # (rule, fingerprint, message) so two runs that found the same
+    # things produce byte-identical SARIF regardless of analyzer order
+    ordered = sorted(
+        report.diagnostics,
+        key=lambda d: (d.rule, stable_fingerprint(d), d.message),
+    )
     results = [
         {
             "ruleId": diag.rule,
@@ -78,9 +108,12 @@ def to_sarif(report: LintReport) -> dict:
                     ]
                 }
             ],
+            "partialFingerprints": {
+                "reproLint/v1": stable_fingerprint(diag),
+            },
             **({"properties": {"hint": diag.hint}} if diag.hint else {}),
         }
-        for diag in report.diagnostics
+        for diag in ordered
     ]
     return {
         "$schema": (

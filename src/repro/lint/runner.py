@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.lint import diagnostics as D
 from repro.lint.adiosproto import check_writer_script, writer_script_for
 from repro.lint.diagnostics import LintReport, check_rule_ids
 from repro.lint.kernels import check_occupancy, lint_kernel
@@ -58,12 +59,69 @@ def _builtin_kernel_args(settings):
     ]
 
 
-def lint_workflow(settings, *, rules=None) -> LintReport:
-    """Lint kernels + exchange plan + writer script for one settings."""
+def _check_module_passes(settings, passes, report: LintReport) -> None:
+    """Optimizer-backed module lint: what would the pass pipeline buy?
+
+    Builds the workflow's stencil-IR module, runs ``passes`` over it,
+    and reports missed cross-launch optimizations as informational
+    diagnostics: IR-FUSION-MISSED when fusion was legal and removed
+    re-loads, IR-CSE when the merged module still held repeated pure
+    subexpressions. Facts record the op-count deltas either way.
+    """
+    from repro.ir.build import workflow_module
+    from repro.ir.passes import PassManager, parse_pipeline
+
+    pipeline = parse_pipeline(passes)
+    module = workflow_module(settings)
+    rewritten, pipe_report = PassManager(pipeline).run(module)
+    before, after = module.op_counts(), rewritten.op_counts()
+    where = f"module:{module.name}"
+    report.record_fact(
+        f"{where}.passes", ",".join(p.name for p in pipeline)
+    )
+    for kind in sorted(before):
+        report.record_fact(f"{where}.{kind}_ops", f"{before[kind]} -> {after[kind]}")
+
+    by_pass = {r.pass_name: r for r in pipe_report.reports}
+    fuse = by_pass.get("fuse")
+    loads_removed = before["load"] - after["load"]
+    if fuse is not None and fuse.applied and loads_removed > 0:
+        report.add(
+            D.IR_FUSION_MISSED, where,
+            f"launches {' + '.join(f.name for f in module.funcs)} re-load "
+            f"shared inputs; fusing them removes {loads_removed} of "
+            f"{before['load']} loads per cell",
+            hint="fuse the kernels (or rely on cache residency at small "
+                 "shapes); `grayscott ir optimize` quantifies the traffic",
+            key=f"fuse:{'+'.join(f.name for f in module.funcs)}",
+        )
+    arith_removed = before["arith"] - after["arith"]
+    if arith_removed > 0:
+        report.add(
+            D.IR_CSE, where,
+            f"{arith_removed} of {before['arith']} arith op(s) per cell "
+            f"recompute values the merged module already holds",
+            hint="common-subexpression merge across the fused body cuts "
+                 "per-cell flops",
+            key=f"cse:{arith_removed}/{before['arith']}",
+        )
+
+
+def lint_workflow(settings, *, rules=None, passes=None) -> LintReport:
+    """Lint kernels + exchange plan + writer script for one settings.
+
+    ``passes`` (a pass-pipeline spec like ``"fuse,rle,cse"``) addition-
+    ally runs the stencil-IR rewrite pipeline over the workflow module
+    and reports cross-launch optimization opportunities (IR-FUSION-
+    MISSED, IR-CSE) as informational diagnostics.
+    """
     report = LintReport()
 
     for kernel, args in _builtin_kernel_args(settings):
         lint_kernel(kernel, args, ghost=1, report=report)
+
+    if passes is not None:
+        _check_module_passes(settings, passes, report)
 
     if settings.backend != "cpu":
         # a GPU backend was selected: check its codegen's CU occupancy

@@ -110,3 +110,12 @@ class LaunchError(GpuError):
 
 class DeviceMemoryError(GpuError):
     """Device allocation exceeded the modeled HBM capacity."""
+
+
+class IrError(ReproError):
+    """Base class for errors raised by the stencil IR layer.
+
+    Raised for malformed IR (verifier failures surfaced as exceptions),
+    unknown pass names in a pipeline spec, and rewrite requests whose
+    legality preconditions cannot even be evaluated.
+    """

@@ -24,6 +24,7 @@ from repro.bench.perfsuite import (
 CASE_NAMES = {
     "cache_sweep", "jit_trace_memo", "pack_unpack",
     "io_bp5", "par_speedup", "sched_engine", "trace_streaming",
+    "ir_passes",
 }
 
 
@@ -75,6 +76,19 @@ class TestSchema:
         (sched,) = [c for c in payload["cases"] if c["name"] == "sched_engine"]
         assert sched["metrics"]["normalized_rate"] > 0
         assert sched["metrics"]["events_per_second"] > 0
+
+    def test_ir_passes_case_reduction_ratios(self, payload):
+        (case,) = [c for c in payload["cases"] if c["name"] == "ir_passes"]
+        m = case["metrics"]
+        # the Listing 4 contract: fuse+rle recover the hand-fused
+        # kernel's 14 loads from the 21 the two launches record
+        assert m["load_ops_before"] == 21
+        assert m["load_ops_after"] == 14
+        assert m["funcs_after"] == 1
+        assert 0 < m["load_reduction"] < 1
+        assert 0 < m["arith_reduction"] < 1
+        # rewrites are legal: evaluation stayed bit-identical
+        assert case["identical"] is True
 
     def test_payload_is_json_serializable(self, payload, tmp_path):
         path = tmp_path / "BENCH_selfperf.json"

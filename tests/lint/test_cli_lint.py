@@ -64,7 +64,7 @@ class TestLintGate:
     ):
         from repro.lint.diagnostics import KRN_BOUNDS, LintReport
 
-        def fake_lint_workflow(settings, *, rules=None):
+        def fake_lint_workflow(settings, *, rules=None, passes=None):
             report = LintReport()
             report.add(KRN_BOUNDS, "kernel:k", "seeded error")
             return report
@@ -75,6 +75,37 @@ class TestLintGate:
         assert main(["lint", str(settings_file)]) == 1
         assert "seeded error" in capsys.readouterr().out
 
-    def test_missing_settings_reports_error(self, tmp_path, capsys):
-        assert main(["lint", str(tmp_path / "nope.json")]) == 1
+    def test_missing_settings_is_usage_error(self, tmp_path, capsys):
+        # the exit-code contract: 0 clean, 1 error diagnostics, 2 usage/IO
+        assert main(["lint", str(tmp_path / "nope.json")]) == 2
         assert "grayscott:" in capsys.readouterr().err
+
+    def test_unwritable_out_is_usage_error(self, settings_file, capsys):
+        assert main(
+            ["lint", str(settings_file), "--out", "/nonexistent/dir/x.txt"]
+        ) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestLintPasses:
+    def test_passes_reports_fusion_and_cse(self, settings_file, capsys):
+        assert main(
+            ["lint", str(settings_file), "--passes", "fuse,rle,cse"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "IR-FUSION-MISSED" in out
+        assert "IR-CSE" in out
+        assert "module:gray_scott_step.load_ops = 21 -> 14" in out
+
+    def test_unknown_pass_exits_2(self, settings_file, capsys):
+        assert main(
+            ["lint", str(settings_file), "--passes", "fuse,bogus"]
+        ) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_sarif_format_alias(self, settings_file, capsys):
+        assert main(["lint", str(settings_file), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        for result in doc["runs"][0]["results"]:
+            assert "reproLint/v1" in result["partialFingerprints"]

@@ -53,8 +53,16 @@ class TestSarif:
             "KRN-BOUNDS": "error",
             "ADIOS-GAP": "warning",
         }
-        location = run["results"][0]["locations"][0]["logicalLocations"][0]
+        by_rule = {r["ruleId"]: r for r in run["results"]}
+        location = by_rule["KRN-RAND"]["locations"][0]["logicalLocations"][0]
         assert location["fullyQualifiedName"] == "kernel:k"
+        # results are sorted (rule, fingerprint, message): order-insensitive
+        assert [r["ruleId"] for r in run["results"]] == sorted(
+            r["ruleId"] for r in run["results"]
+        )
+        for result in run["results"]:
+            fp = result["partialFingerprints"]["reproLint/v1"]
+            assert len(fp) == 24 and int(fp, 16) >= 0
 
     def test_properties_carry_facts_and_counts(self):
         run = to_sarif(_report())["runs"][0]

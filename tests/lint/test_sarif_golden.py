@@ -1,0 +1,77 @@
+"""Golden-file test: SARIF output is stable and order-insensitive.
+
+The golden document in ``tests/lint/data/sarif_golden.json`` pins the
+exact SARIF bytes (tool version normalized) for a fixed report. Any
+change to result ordering, fingerprint derivation, or document shape
+shows up as a golden diff — which is the point: downstream SARIF diffs
+key on ``partialFingerprints``, so those must never drift by accident.
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint import diagnostics as D
+from repro.lint.diagnostics import LintReport
+from repro.lint.report import stable_fingerprint, to_sarif
+
+GOLDEN = Path(__file__).parent / "data" / "sarif_golden.json"
+
+
+def _seed_report(order: str = "forward") -> LintReport:
+    """A fixed report; ``order`` shuffles only insertion order."""
+    entries = [
+        (D.KRN_BOUNDS, "kernel:k", "load u[z+2, y, x] reaches offset +2 "
+         "on axis 0 but the halo is only 1 deep", "widen the halo",
+         "stencil-overrun:u[z+2, y, x]:axis0"),
+        (D.KRN_RAND, "kernel:k", "1 counter-rand call(s) per workitem",
+         None, "rand:1"),
+        (D.IR_REDUNDANT_LOAD, "kernel:k", "1 redundant load(s) of "
+         "u[z, y, x]; the value is already live in %1", None,
+         "u[z, y, x]"),
+        (D.IR_DEAD_STORE, "kernel:k", "store out[z, y, x] is overwritten "
+         "before any read", None, "out[z, y, x]"),
+        (D.MPI_DEADLOCK, "plan:exchange", "rank 0 and rank 1 both block "
+         "in send", "use Sendrecv", "0<->1"),
+    ]
+    if order == "reversed":
+        entries = list(reversed(entries))
+    report = LintReport()
+    for rule, location, message, hint, key in entries:
+        report.add(rule, location, message, hint=hint, key=key)
+    report.record_fact("kernel:k.unique_loads", 14)
+    report.record_fact("module:m.passes", "fuse,rle")
+    return report
+
+
+def _normalized_sarif(report: LintReport) -> dict:
+    doc = to_sarif(report)
+    doc["runs"][0]["tool"]["driver"]["version"] = "TEST"
+    return doc
+
+
+class TestSarifGolden:
+    def test_matches_golden_file(self):
+        doc = _normalized_sarif(_seed_report())
+        golden = json.loads(GOLDEN.read_text())
+        assert doc == golden
+
+    def test_insertion_order_does_not_matter(self):
+        forward = json.dumps(_normalized_sarif(_seed_report("forward")))
+        reversed_ = json.dumps(_normalized_sarif(_seed_report("reversed")))
+        assert forward == reversed_
+
+    def test_fingerprints_ignore_message_wording(self):
+        report_a = LintReport()
+        report_a.add(D.KRN_BOUNDS, "kernel:k", "some wording", key="subject")
+        report_b = LintReport()
+        report_b.add(D.KRN_BOUNDS, "kernel:k", "other wording", key="subject")
+        assert stable_fingerprint(report_a.diagnostics[0]) == (
+            stable_fingerprint(report_b.diagnostics[0])
+        )
+
+    def test_fingerprints_track_canonical_subject(self):
+        report = LintReport()
+        report.add(D.KRN_BOUNDS, "kernel:k", "msg", key="u[z, y, x]")
+        report.add(D.KRN_BOUNDS, "kernel:k", "msg", key="u[z+1, y, x]")
+        a, b = report.diagnostics
+        assert stable_fingerprint(a) != stable_fingerprint(b)

@@ -1,0 +1,127 @@
+"""Property tests: IR round-trip and rewrite-pass bit-identity.
+
+Two invariants hold for every seed/parameter draw:
+
+- round-trip: tracing a kernel into the stencil IR always yields a
+  func that verifies clean, with the Listing 4 op counts;
+- bit-identity: evaluating the workflow module before and after ANY
+  legal pass pipeline produces bitwise-identical arrays, and matches
+  the kernels' own interpreter (``force_interpreter=True``) exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import GrayScottParams
+from repro.ir.build import gray_scott_func, laplacian_func, workflow_module
+from repro.ir.interp import evaluate_func, evaluate_module
+from repro.ir.passes import PassManager
+
+EXTENT = 6
+
+params_strategy = st.builds(
+    GrayScottParams,
+    F=st.floats(0.01, 0.08),
+    k=st.floats(0.05, 0.07),
+    noise=st.floats(0.0, 0.2),
+)
+
+#: every subsequence of the default pipeline in order, plus two
+#: reorderings — all legal (fusion first or never is what differs)
+pipelines = st.one_of(
+    st.permutations(["rle", "cse", "dse"]),
+    st.just(["fuse"]),
+    st.just(["fuse", "rle"]),
+    st.just(["fuse", "rle", "cse", "dse"]),
+    st.just(["fuse", "cse", "rle", "dse"]),
+    st.just(["dse", "fuse", "rle", "cse"]),
+)
+
+
+def _arrays(seed: int, dtype="float64") -> dict:
+    rng = np.random.default_rng(seed)
+    shape = (EXTENT,) * 3
+
+    def draw():
+        return np.asfortranarray(rng.random(shape, dtype=np.float64)).astype(
+            dtype, order="F"
+        )
+
+    return {
+        "u": draw(), "v": draw(),
+        "u_new": np.zeros(shape, dtype=dtype, order="F"),
+        "v_new": np.zeros(shape, dtype=dtype, order="F"),
+        "lap": np.zeros(shape, dtype=dtype, order="F"),
+    }
+
+
+class TestRoundTrip:
+    @given(params_strategy, st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_to_ir_verifies(self, params, seed):
+        func = gray_scott_func(params, seed=seed, extent=EXTENT)
+        assert func.verify() == []
+        assert len(func.unique_loads) == 14
+        assert len(func.unique_stores) == 2
+
+    @given(params_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_laplacian_round_trip(self, params):
+        func = laplacian_func(params, extent=EXTENT)
+        assert func.verify() == []
+        assert len(func.unique_loads) == 7
+
+    @given(params_strategy, st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_module_verifies(self, params, seed):
+        from repro.core.settings import GrayScottSettings
+
+        settings_obj = GrayScottSettings(
+            L=EXTENT, F=params.F, k=params.k, noise=params.noise, seed=seed
+        )
+        module = workflow_module(settings_obj, extent=EXTENT)
+        assert module.verify() == []
+
+
+class TestRewriteBitIdentity:
+    @given(pipelines, st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_preserves_results_bitwise(self, pipeline, seed):
+        module = workflow_module(extent=EXTENT)
+        rewritten, _ = PassManager(pipeline).run(module)
+
+        reference = _arrays(seed)
+        optimized = {k: a.copy(order="F") for k, a in reference.items()}
+        evaluate_module(module, reference)
+        evaluate_module(rewritten, optimized)
+
+        for name in reference:
+            assert np.array_equal(reference[name], optimized[name]), (
+                f"array {name!r} diverged under pipeline {pipeline}"
+            )
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_interp_matches_kernel_interpreter(self, seed):
+        from repro.core.stencil import kernel_args, make_gray_scott_kernel
+        from repro.gpu.kernel import LaunchConfig
+
+        func = gray_scott_func(extent=EXTENT)
+        arrays = _arrays(seed)
+        evaluate_func(func, arrays)
+
+        kernel_side = _arrays(seed)
+        kernel = make_gray_scott_kernel()
+        args = kernel_args(
+            kernel_side["u"], kernel_side["v"],
+            kernel_side["u_new"], kernel_side["v_new"],
+            GrayScottParams(), seed=42, step=0,
+        )
+        kernel.execute(
+            LaunchConfig(grid=(EXTENT,) * 3, workgroup=(1, 1, 1)),
+            args, force_interpreter=True,
+        )
+
+        for name in ("u_new", "v_new"):
+            assert np.array_equal(arrays[name], kernel_side[name])

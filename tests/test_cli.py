@@ -60,6 +60,113 @@ class TestCliBench:
             main(["bench", "table9"])
 
 
+class TestCliLintExitCodes:
+    """The lint exit-code contract: 0 clean, 1 errors, 2 usage/IO."""
+
+    def test_clean_is_zero(self, settings_file):
+        assert main(["lint", str(settings_file)]) == 0
+
+    def test_error_diagnostics_are_one(self, settings_file, monkeypatch):
+        import repro.lint.runner as runner
+        from repro.lint.diagnostics import KRN_BOUNDS, LintReport
+
+        def seeded(settings, *, rules=None, passes=None):
+            report = LintReport()
+            report.add(KRN_BOUNDS, "kernel:k", "seeded")
+            return report
+
+        monkeypatch.setattr(runner, "lint_workflow", seeded)
+        assert main(["lint", str(settings_file)]) == 1
+
+    def test_usage_and_io_are_two(self, settings_file, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.json")]) == 2
+        assert main(["lint", str(settings_file), "--rules", "NOPE"]) == 2
+        assert main(["lint", str(settings_file), "--passes", "bogus"]) == 2
+        assert main(
+            ["lint", str(settings_file), "--out", "/nonexistent/d/x"]
+        ) == 2
+        capsys.readouterr()
+
+
+class TestCliIr:
+    def test_dump_renders_module(self, settings_file, capsys):
+        assert main(["ir", "dump", str(settings_file)]) == 0
+        out = capsys.readouterr().out
+        assert "stencil.func @_kernel_gray_scott(" in out
+        assert "stencil.func @_kernel_laplacian_1var(" in out
+
+    def test_dump_json_and_kernel_filter(self, settings_file, capsys):
+        import json
+
+        assert main([
+            "ir", "dump", str(settings_file),
+            "--kernel", "_kernel_laplacian_1var", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [f["name"] for f in doc["funcs"]] == ["_kernel_laplacian_1var"]
+
+    def test_dump_unknown_kernel_is_usage_error(self, settings_file, capsys):
+        assert main([
+            "ir", "dump", str(settings_file), "--kernel", "nope"
+        ]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_verify_clean_module(self, settings_file, capsys):
+        assert main(["ir", "verify", str(settings_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ir verify: gray_scott_step" in out
+
+    def test_verify_without_settings_uses_defaults(self, capsys):
+        assert main(["ir", "verify"]) == 0
+        capsys.readouterr()
+
+    def test_optimize_reports_counterfactual(self, settings_file, capsys):
+        assert main([
+            "ir", "optimize", str(settings_file), "--shape", "64x64x64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "counterfactual for module gray_scott_step at 64x64x64" in out
+        assert "speedup" in out
+
+    def test_optimize_json(self, settings_file, capsys):
+        import json
+
+        assert main([
+            "ir", "optimize", str(settings_file),
+            "--shape", "64", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bytes_saved"] > 0
+        assert doc["op_counts_before"]["load"] == 21
+
+    def test_optimize_exact_sim(self, settings_file, capsys):
+        assert main([
+            "ir", "optimize", str(settings_file),
+            "--shape", "24", "--exact", "--capacity-bytes", str(64 * 1024),
+        ]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_optimize_bad_shape_is_usage_error(self, settings_file, capsys):
+        assert main([
+            "ir", "optimize", str(settings_file), "--shape", "2x2",
+        ]) == 2
+        assert "grayscott:" in capsys.readouterr().err
+
+    def test_optimize_bad_pass_is_usage_error(self, settings_file, capsys):
+        assert main([
+            "ir", "optimize", str(settings_file), "--passes", "warp",
+        ]) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_out_writes_file(self, settings_file, tmp_path, capsys):
+        target = tmp_path / "module.mlir"
+        assert main([
+            "ir", "dump", str(settings_file), "--out", str(target)
+        ]) == 0
+        assert "IR dump written" in capsys.readouterr().out
+        assert "stencil.func" in target.read_text()
+
+
 class TestCliTrace:
     def test_trace_with_gpu_backend(self, tmp_path, capsys):
         path = tmp_path / "s.json"
