@@ -190,6 +190,19 @@ class SSTWriter:
         self._stream.queues[self.rank].put(packet)  # blocks on backpressure
         self._in_step = False
 
+    def backlog(self) -> int:
+        """Steps this rank has queued that no reader consumed yet.
+
+        ``backlog() >= queue_limit`` means the next ``end_step`` will
+        block — a producer that must never stall (e.g. a service
+        telemetry feed) can poll this and drop instead.
+        """
+        return self._stream.queues[self.rank].qsize()
+
+    @property
+    def queue_limit(self) -> int:
+        return self._stream.queues[self.rank].maxsize
+
     def close(self) -> None:
         if self._closed:
             return
@@ -200,6 +213,32 @@ class SSTWriter:
         )
         self._closed = True
 
+    def abort(self) -> None:
+        """Tear the stream down after an abnormal termination.
+
+        Unlike :meth:`close` this never blocks (a saturated queue is
+        drained of one packet to make room for the EOS marker, and the
+        broker entry is released immediately), so a writer dying under
+        backpressure cannot deadlock its own cleanup. An attached
+        reader observes END_OF_STREAM; the stream name is immediately
+        reusable by a new writer.
+        """
+        if not self._closed:
+            eos = _StepPacket(self.rank, self._step + 1, [], {}, eos=True)
+            rank_queue = self._stream.queues[self.rank]
+            while True:
+                try:
+                    rank_queue.put_nowait(eos)
+                    break
+                except queue.Full:
+                    try:
+                        rank_queue.get_nowait()
+                    except queue.Empty:  # pragma: no cover - racing reader
+                        continue
+            self._closed = True
+        self._in_step = False
+        SstBroker.release(self.name)
+
     def __enter__(self) -> "SSTWriter":
         return self
 
@@ -207,7 +246,7 @@ class SSTWriter:
         if exc_type is None:
             self.close()
         else:
-            self._closed = True
+            self.abort()
 
 
 class SSTReader:

@@ -33,7 +33,14 @@ bit-identity where a reference exists:
   module): pipeline wall time plus the dimensionless op-count
   reduction ratios the passes deliver, with the pass-legality contract
   checked as bit-identity of :func:`repro.ir.interp.evaluate_module`
-  before vs. after rewriting.
+  before vs. after rewriting;
+- ``serve_load`` — the cached service (:mod:`repro.serve`) under a
+  synthetic concurrent-client mix: saturation throughput
+  (machine-normalized for the rate gate) plus hit/miss latency
+  p50/p99, gated against the *absolute*
+  ``hit_miss_p99_limit`` (0.10): a cache hit's tail latency must stay
+  at least 10x below a cache miss's — the service contract, not a
+  host-relative floor.
 
 ``run_suite`` returns a :class:`SuiteResult`; ``to_json`` produces the
 schema-stable payload written to ``BENCH_selfperf.json`` (schema id
@@ -513,6 +520,63 @@ def _case_ir_passes(quick: bool) -> CaseResult:
     )
 
 
+#: absolute ceiling on the serve_load hit/miss p99 ratio (cache hits
+#: must stay >= 10x faster at the tail) enforced by
+#: :func:`check_regressions`
+HIT_MISS_P99_LIMIT = 0.10
+
+
+def _case_serve_load(quick: bool, loop_score: float) -> CaseResult:
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.settings import GrayScottSettings
+    from repro.serve.loadgen import run_load
+
+    clients = 8 if quick else 16
+    requests = 6 if quick else 12
+    with tempfile.TemporaryDirectory() as tmp:
+        settings = GrayScottSettings(
+            L=16, steps=6, plotgap=3,
+            output=str(Path(tmp) / "serve.bp"),
+        )
+        t0 = time.perf_counter()
+        report, _ = run_load(
+            settings,
+            clients=clients,
+            requests=requests,
+            hit_fraction=0.75,
+            workers=2,
+            backend="thread",
+            workdir=str(Path(tmp) / "jobs"),
+        )
+        wall = time.perf_counter() - t0
+    return CaseResult(
+        name="serve_load",
+        optimized_seconds=wall,
+        reference_seconds=None,
+        identical=None,
+        metrics={
+            "clients": clients,
+            "requests_per_client": requests,
+            "completed": report.completed,
+            "failed": report.failed,
+            "cache_hits": report.cache_hits,
+            "coalesced": report.coalesced,
+            "jobs_per_second": report.throughput,
+            # dimensionless: service answers per plain-Python loop
+            # iteration — comparable across differently-clocked hosts
+            "normalized_rate": report.throughput / (loop_score * 1e6),
+            "hit_p50_seconds": report.hit_p50,
+            "hit_p99_seconds": report.hit_p99,
+            "miss_p50_seconds": report.miss_p50,
+            "miss_p99_seconds": report.miss_p99,
+            "hit_miss_p99_ratio": report.hit_miss_p99_ratio,
+            "hit_miss_p99_limit": HIT_MISS_P99_LIMIT,
+        },
+    )
+
+
 def run_suite(*, quick: bool = False) -> SuiteResult:
     """Run all hot-path cases; ``quick`` shrinks sizes to CI scale."""
     loop_score = _measure_loop_score()
@@ -525,6 +589,7 @@ def run_suite(*, quick: bool = False) -> SuiteResult:
         _case_sched_engine(quick, loop_score),
         _case_trace_streaming(quick, loop_score),
         _case_ir_passes(quick),
+        _case_serve_load(quick, loop_score),
     ]
     return SuiteResult(quick=quick, loop_score=loop_score, cases=cases)
 
@@ -645,6 +710,16 @@ def check_regressions(
             failures.append(
                 f"{name}: tracing overhead {cur_overhead:.3f}x exceeds "
                 f"the absolute {limit:.2f}x limit"
+            )
+        # same absolute-contract shape for the service cache: a hit's
+        # p99 must stay at least 1/limit times below a miss's p99
+        ratio_limit = base.get("metrics", {}).get("hit_miss_p99_limit")
+        cur_ratio = cur.get("metrics", {}).get("hit_miss_p99_ratio")
+        if ratio_limit and cur_ratio is not None and cur_ratio > ratio_limit:
+            failures.append(
+                f"{name}: cache-hit p99 is {cur_ratio:.3f}x of the miss "
+                f"p99, above the absolute {ratio_limit:.2f} limit "
+                f"(hits must stay >= {1 / ratio_limit:.0f}x faster)"
             )
     return failures
 

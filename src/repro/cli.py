@@ -26,7 +26,13 @@ Commands:
 - ``bench <target>`` — regenerate a paper table/figure (table1-3,
   fig5-8, listing1/4), the strong-scaling extension (``strong``), or
   the machine-readable JSON of everything (``report``);
-- ``campaign <base.json> --regimes a,b`` — Pearson-regime sweeps;
+- ``campaign <base.json> --regimes a,b`` — Pearson-regime sweeps
+  (``--jobs N`` fans members over worker processes, byte-identical to
+  serial; exit codes follow the lint 0/1/2 contract);
+- ``serve <base.json> --smoke|--load N`` — the simulator as an
+  always-on cached service (:mod:`repro.serve`): repeated settings are
+  answered from the canonical-hash cache byte-identically, ``--load``
+  replays synthetic concurrent clients and reports p50/p99 latency;
 - ``compare <a.bp> <b.bp> [--strict]`` — dataset diffs (max/RMS/PSNR).
 """
 
@@ -110,14 +116,13 @@ def _finish_stream(tracer, writer, trace_out: str) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.execute import JobSpec, execute_job
     from repro.core.settings import GrayScottSettings
-    from repro.core.workflow import Workflow
     from repro.observe import trace as observe
 
     settings = GrayScottSettings.load(args.settings)
     if args.ranks is not None:
         settings = settings.with_overrides(ranks=args.ranks)
-    nranks = settings.ranks
 
     trace_mode = _trace_mode(args.trace_out) if args.trace_out else None
     if args.trace_out:
@@ -154,19 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profiler = Profiler()
     tracing = bool(args.trace_out or args.metrics_out)
 
-    def run_one(comm=None):
-        workflow = Workflow(settings, comm)
-        if profiler is not None and workflow.sim.device is not None:
-            workflow.sim.device.profiler = profiler
-        return workflow.run(), workflow.sim.wall
-
-    def execute():
-        if nranks > 1:
-            from repro.mpi.executor import run_spmd
-
-            # rank 0's report carries the analysis + metrics summary
-            return run_spmd(run_one, nranks, collect_stats=tracing)[0]
-        return run_one()
+    spec = JobSpec(settings=settings)
 
     stream_writer = None
     if tracing:
@@ -175,7 +168,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             session_tracer = None
         with observe.session(session_tracer) as tracer:
-            report, wall = execute()
+            result = execute_job(spec, gpu_profiler=profiler)
             if args.trace_out and stream_writer is None:
                 from repro.observe.export import write_chrome_trace
 
@@ -185,10 +178,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
                 write_metrics_json(tracer.metrics, args.metrics_out)
     else:
-        report, wall = execute()
-    print(report.render())
+        result = execute_job(spec, gpu_profiler=profiler)
+    print(result.render())
     if args.timings:
-        print(wall.render())
+        print(result.timings.render())
     if args.trace:
         profiler.report().write_csv(args.trace)
         print(f"rocprof-style trace written to {args.trace}")
@@ -204,7 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _run_virtual(args: argparse.Namespace, settings, trace_mode=None) -> int:
     """``run --virtual-ranks N``: event-driven modeled SPMD execution."""
-    from repro.core.virtual import VirtualWorkflow
+    from repro.core.execute import JobSpec, execute_job
 
     tracer = None
     stream_writer = None
@@ -222,15 +215,16 @@ def _run_virtual(args: argparse.Namespace, settings, trace_mode=None) -> int:
         if args.jobs != 1:
             print("grayscott: --sim-profile samples one engine; "
                   "running serially (--jobs ignored)", file=sys.stderr)
-    workflow = VirtualWorkflow(
-        settings,
-        nranks=args.virtual_ranks,
+    spec = JobSpec(
+        settings=settings,
+        mode="virtual",
+        virtual_ranks=args.virtual_ranks,
         overlap=args.overlap,
         nic_contention=args.nic_contention,
-        tracer=tracer,
-        profiler=profiler,
     )
-    result = workflow.run(jobs=args.jobs)
+    result = execute_job(
+        spec, jobs=args.jobs, tracer=tracer, profiler=profiler
+    )
     print(result.render())
     if stream_writer is not None:
         _finish_stream(tracer, stream_writer, args.trace_out)
@@ -520,11 +514,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    """``grayscott campaign``: exit 0 ok, 1 member failure, 2 usage/IO.
+
+    The lint exit-code contract: a campaign whose members all succeed
+    exits 0; one or more failed member runs (captured per variant, the
+    others still complete) exit 1; a bad invocation — unknown regime,
+    unreadable settings, bad ``--jobs`` — exits 2 before any run.
+    """
     from repro.core.campaign import Campaign
     from repro.core.params import PEARSON_REGIMES
     from repro.core.settings import GrayScottSettings
+    from repro.util.errors import ConfigError, ParError
 
-    base = GrayScottSettings.load(args.settings)
+    try:
+        base = GrayScottSettings.load(args.settings)
+    except (ConfigError, OSError) as exc:
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 2
     campaign = Campaign(base, workdir=args.workdir)
     for name in args.regimes.split(","):
         name = name.strip()
@@ -537,12 +543,131 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return 2
         F, k = PEARSON_REGIMES[name]
         campaign.add(name, F=F, k=k)
-    result = campaign.run()
+    try:
+        result = campaign.run(jobs=args.jobs)
+    except (ConfigError, ParError) as exc:
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 2
     print(result.render())
     if args.provenance:
-        result.save_provenance(args.provenance)
+        try:
+            result.save_provenance(args.provenance)
+        except OSError as exc:
+            print(f"grayscott: cannot write {args.provenance}: {exc}",
+                  file=sys.stderr)
+            return 2
         print(f"provenance written to {args.provenance}")
+    return 0 if result.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``grayscott serve``: the simulator as an always-on cached service.
+
+    ``--smoke`` runs the CI self-check (hit + miss + byte-identity +
+    clean shutdown; exit 0 pass, 1 fail); ``--load N`` replays N
+    synthetic concurrent clients and prints the latency/throughput
+    report. One of the two is required (the CLI has no daemon mode);
+    invoking without either — or with a bad settings file — exits 2.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.core.settings import GrayScottSettings
+    from repro.util.errors import ConfigError, ServeError
+
+    if not args.smoke and args.load is None:
+        print("grayscott: serve needs --smoke or --load N", file=sys.stderr)
+        return 2
+    try:
+        settings = GrayScottSettings.load(args.settings)
+    except (ConfigError, OSError) as exc:
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 2
+    if args.mode == "virtual" and settings.backend == "cpu":
+        print("grayscott: --mode virtual needs a GPU backend (julia/hip) "
+              "in the settings", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="grayscott-serve-") as scratch:
+        workdir = args.workdir or scratch
+        try:
+            if args.smoke:
+                return _serve_smoke(args, settings, workdir)
+            return _serve_load(args, settings, workdir)
+        except (ServeError, ConfigError) as exc:
+            print(f"grayscott: {exc}", file=sys.stderr)
+            return 2
+        except asyncio.CancelledError:  # pragma: no cover - ^C
+            return 1
+
+
+def _serve_smoke(args: argparse.Namespace, settings, workdir: str) -> int:
+    """Self-checking service round trip (the CI serve-smoke job)."""
+    import asyncio
+
+    from repro.serve.loadgen import generate_specs
+    from repro.serve.service import SimService
+
+    specs = generate_specs(
+        settings, 2, mode=args.mode,
+        virtual_ranks=args.virtual_ranks if args.mode == "virtual" else 0,
+    )
+
+    async def smoke():
+        async with SimService(
+            workers=args.workers, backend=args.backend,
+            workdir=workdir, stream=args.stream,
+        ) as service:
+            cold = await service.run(specs[0])
+            hot = await service.run(specs[0])
+            miss = await service.run(specs[1])
+            return [
+                ("cold run executes (not cached)", not cold.cached),
+                ("repeat answered from cache", hot.cached),
+                ("cache hit is byte-identical", hot.rendered == cold.rendered),
+                ("different settings miss", not miss.cached),
+                ("cache hit count == 1",
+                 service.stats_counters.cache_hits == 1),
+                ("no failures", service.stats_counters.failed == 0),
+            ], service.render_stats()
+
+    checks, stats = asyncio.run(smoke())
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    print(stats)
+    if failed:
+        print(f"grayscott: serve smoke failed: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("serve smoke: all checks passed, service shut down cleanly")
     return 0
+
+
+def _serve_load(args: argparse.Namespace, settings, workdir: str) -> int:
+    """Synthetic-client load replay against a fresh service."""
+    from repro.serve.loadgen import run_load
+
+    report, stats = run_load(
+        settings,
+        clients=args.load,
+        requests=args.requests,
+        hit_fraction=args.hit_fraction,
+        workers=args.workers,
+        backend=args.backend,
+        mode=args.mode,
+        virtual_ranks=args.virtual_ranks if args.mode == "virtual" else 0,
+        pace=args.pace,
+        workdir=workdir,
+        stream=args.stream,
+    )
+    print(report.render())
+    print()
+    print(f"service cache: {stats['cache_hits']} hits / "
+          f"{stats['cache_misses']} misses, "
+          f"{stats['coalesced']} coalesced, "
+          f"{stats['store']['entries']} entries")
+    return 1 if report.failed else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -842,7 +967,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument("--workdir", default=".", help="output directory")
     p_camp.add_argument("--provenance", help="write campaign provenance JSON here")
+    p_camp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run campaign members across N worker processes (0 = all "
+             "cores); reports and datasets are byte-identical to --jobs 1",
+    )
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulator as an always-on cached service"
+    )
+    p_serve.add_argument("settings", help="base JSON settings file")
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="self-checking round trip: cold run, cached repeat "
+             "(byte-identical), distinct miss, clean shutdown; exit 0/1",
+    )
+    p_serve.add_argument(
+        "--load", type=int, metavar="N",
+        help="replay N concurrent synthetic clients and print the "
+             "hit/miss latency and throughput report",
+    )
+    p_serve.add_argument(
+        "--requests", type=int, default=8, metavar="R",
+        help="with --load: requests per client (default: 8)",
+    )
+    p_serve.add_argument(
+        "--hit-fraction", type=float, default=0.75, metavar="F",
+        help="with --load: fraction of requests repeating the hot "
+             "configuration (default: 0.75)",
+    )
+    p_serve.add_argument(
+        "--pace", type=float, default=0.0, metavar="SEC",
+        help="with --load: bursty inter-arrival scale in seconds "
+             "(default: 0 = closed-loop saturation)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="compute workers behind the queue (default: 2)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=["process", "thread", "inline"],
+        default="thread",
+        help="compute backend: a repro.par-style process pool, an "
+             "executor thread per worker, or inline on the event loop",
+    )
+    p_serve.add_argument(
+        "--mode", choices=["workflow", "virtual"], default="workflow",
+        help="what each job executes: the real solver or the "
+             "discrete-event virtual SPMD model",
+    )
+    p_serve.add_argument(
+        "--virtual-ranks", type=int, default=8, metavar="N",
+        help="with --mode virtual: modeled ranks per job (default: 8)",
+    )
+    p_serve.add_argument(
+        "--workdir", metavar="DIR",
+        help="sandbox job datasets under DIR, keyed by canonical hash "
+             "(default: a temporary directory)",
+    )
+    p_serve.add_argument(
+        "--stream", metavar="NAME",
+        help="publish job lifecycle events on this adios.sst stream "
+             "(lossy: dropped, never blocking, when no reader keeps up)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="diff two datasets (max/RMS/PSNR)")
     p_cmp.add_argument("dataset_a")

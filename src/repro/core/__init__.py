@@ -23,6 +23,7 @@ Layers:
 """
 
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.execute import JobSpec, RunResult, execute_job
 from repro.core.params import GrayScottParams, PEARSON_REGIMES
 from repro.core.pipeline import Pipeline, PipelineRun
 from repro.core.settings import GrayScottSettings
@@ -32,6 +33,9 @@ from repro.core.workflow import Workflow, WorkflowReport
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "JobSpec",
+    "RunResult",
+    "execute_job",
     "Pipeline",
     "PipelineRun",
     "GrayScottParams",

@@ -6,18 +6,24 @@ exploration is a campaign over (F, k). :class:`Campaign` runs a list of
 named :class:`~repro.core.settings.GrayScottSettings` variants through
 the full Workflow, collects every report, and renders/saves a combined
 FAIR provenance record.
+
+``Campaign.run(jobs=N)`` fans the members out over a
+:func:`repro.par.run_tasks` worker pool with an index-ordered merge, so
+the parallel result — report order, provenance JSON, and the datasets
+on disk — is byte-identical to the serial run. Member failures are
+captured per variant (the rest of the campaign still runs) and surface
+in :attr:`CampaignResult.failures`; the CLI maps them to exit code 1.
 """
 
 from __future__ import annotations
 
-import json
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.settings import GrayScottSettings
 from repro.core.workflow import Workflow, WorkflowReport
 from repro.util.errors import ConfigError
-from repro.util.tables import Table
 
 
 @dataclass
@@ -25,34 +31,42 @@ class CampaignResult:
     """All member reports of one campaign, keyed by variant name."""
 
     reports: dict[str, WorkflowReport] = field(default_factory=dict)
+    #: tracebacks of failed members, keyed by variant name
+    failures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def render(self) -> str:
-        table = Table(
-            ["variant", "F", "k", "steps", "outputs", "V max", "wall (s)"],
-            title=f"Campaign: {len(self.reports)} runs",
-        )
-        for name, report in self.reports.items():
-            settings = report.settings
-            table.add_row(
-                [
-                    name,
-                    settings.F,
-                    settings.k,
-                    report.steps_run,
-                    report.output_steps,
-                    report.analysis.get("V_max", "-"),
-                    f"{report.wall_seconds:.2f}",
-                ]
-            )
-        return table.render()
+        from repro.core import present
+
+        return present.render_campaign(self)
 
     def provenance(self) -> dict:
-        return {
-            "campaign": {name: r.provenance() for name, r in self.reports.items()}
-        }
+        from repro.core import present
+
+        return present.campaign_provenance(self)
 
     def save_provenance(self, path) -> None:
-        Path(path).write_text(json.dumps(self.provenance(), indent=2))
+        from repro.core import present
+
+        present.write_provenance(self.provenance(), path)
+
+
+def _run_member(task: tuple[str, GrayScottSettings, bool]):
+    """Run one campaign member; never raises (module-level: pool-safe).
+
+    Returns ``(name, True, report)`` or ``(name, False, traceback)`` so
+    a failing variant doesn't abort the rest of the campaign — and so
+    the parallel path's worker pool is never torn down by one bad
+    member.
+    """
+    name, settings, analyze = task
+    try:
+        return name, True, Workflow(settings).run(analyze=analyze)
+    except Exception:
+        return name, False, traceback.format_exc()
 
 
 class Campaign:
@@ -61,7 +75,7 @@ class Campaign:
     >>> campaign = Campaign(base_settings, workdir="out/")
     >>> campaign.add("alpha", F=0.010, k=0.047)
     >>> campaign.add("beta", F=0.026, k=0.051)
-    >>> result = campaign.run()
+    >>> result = campaign.run(jobs=2)
     """
 
     def __init__(self, base: GrayScottSettings, *, workdir: str | Path = "."):
@@ -88,12 +102,28 @@ class Campaign:
     def variants(self) -> dict[str, GrayScottSettings]:
         return dict(self._variants)
 
-    def run(self, *, analyze: bool = True) -> CampaignResult:
-        """Run every variant sequentially; returns all reports."""
+    def run(self, *, analyze: bool = True, jobs: int = 1) -> CampaignResult:
+        """Run every variant; returns all reports (+ captured failures).
+
+        ``jobs > 1`` spreads the members over a process pool
+        (:func:`repro.par.run_tasks`; ``jobs=0`` means every core). The
+        merge is index-ordered, so the report dict, provenance record,
+        and written datasets are byte-identical to ``jobs=1``.
+        """
+        from repro.par import run_tasks
+
         if not self._variants:
             raise ConfigError("campaign has no variants; call add() first")
         self.workdir.mkdir(parents=True, exist_ok=True)
+        tasks = [
+            (name, settings, analyze)
+            for name, settings in self._variants.items()
+        ]
+        outcomes = run_tasks(_run_member, tasks, jobs=jobs)
         result = CampaignResult()
-        for name, settings in self._variants.items():
-            result.reports[name] = Workflow(settings).run(analyze=analyze)
+        for name, ok, payload in outcomes:
+            if ok:
+                result.reports[name] = payload
+            else:
+                result.failures[name] = payload
         return result

@@ -1,0 +1,203 @@
+"""Presentation layer: render and persist results the engine produced.
+
+The engine/presentation split (see :mod:`repro.core.execute`) keeps run
+*execution* free of any output concern: :class:`~repro.core.workflow.
+WorkflowReport`, :class:`~repro.core.campaign.CampaignResult`, and
+:class:`~repro.core.virtual.VirtualRunResult` are plain data, and every
+human- or machine-facing view of them lives here — report tables,
+FAIR provenance records, provenance files. The CLI and
+:mod:`repro.serve` both consume this module, which is what makes a
+cached service answer byte-identical to a cold run: the service stores
+the text this module rendered once, instead of re-rendering (or worse,
+re-executing) per request.
+
+The result classes keep thin ``render()``/``provenance()`` methods for
+backward compatibility; they delegate here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro._version import __version__
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.campaign import CampaignResult
+    from repro.core.execute import RunResult
+    from repro.core.virtual import VirtualRunResult
+    from repro.core.workflow import WorkflowReport
+
+
+# -- workflow reports --------------------------------------------------------
+
+
+def workflow_provenance(report: "WorkflowReport") -> dict:
+    """The machine-readable FAIR provenance record of one run."""
+    settings = report.settings
+    record = {
+        "workflow": "gray-scott",
+        "repro_version": __version__,
+        "inputs": settings.params().as_attributes()
+        | {"L": settings.L, "steps": settings.steps,
+           "plotgap": settings.plotgap, "seed": settings.seed,
+           "backend": settings.backend},
+        "outputs": {
+            "dataset": report.dataset,
+            "output_steps": report.output_steps,
+            "checkpoints": list(report.checkpoints),
+        },
+        "derived": dict(report.analysis),
+    }
+    if report.metrics:
+        record["metrics"] = dict(report.metrics)
+    return record
+
+
+def render_workflow_report(report: "WorkflowReport") -> str:
+    from repro.util.tables import Table
+
+    t = Table(["field", "value"], title="Gray-Scott workflow report")
+    t.add_row(["dataset", report.dataset])
+    t.add_row(["steps run", report.steps_run])
+    t.add_row(["output steps", report.output_steps])
+    t.add_row(["checkpoints", len(report.checkpoints)])
+    t.add_row(["wall time (s)", f"{report.wall_seconds:.3f}"])
+    for key, value in report.analysis.items():
+        t.add_row([f"analysis.{key}", value])
+    return t.render()
+
+
+# -- virtual (modeled) runs --------------------------------------------------
+
+
+def render_virtual_result(result: "VirtualRunResult") -> str:
+    from repro.util.tables import Table
+
+    mode = "overlapped (nonblocking halo + async drain)" if result.overlap \
+        else "serial (blocking halo + blocking writes)"
+    table = Table(
+        ["quantity", "value"],
+        title=f"virtual SPMD run: {result.nranks} ranks on "
+              f"{result.nnodes} node(s), {mode}",
+    )
+    table.add_row(["backend", result.backend])
+    table.add_row(["solve steps", result.steps])
+    table.add_row(["output steps", result.output_steps])
+    table.add_row(["modeled elapsed (s)", f"{result.elapsed_seconds:.3f}"])
+    table.add_row(
+        ["rank finish min/mean/max (s)",
+         f"{result.rank_finish_seconds.min():.3f} / "
+         f"{result.rank_finish_seconds.mean():.3f} / "
+         f"{result.rank_finish_seconds.max():.3f}"]
+    )
+    table.add_row(["variability", f"{result.variability * 100:.1f}%"])
+    table.add_row(
+        ["kernel (s/step)", f"{result.kernel_seconds_per_step:.4g}"]
+    )
+    table.add_row(["halo mean (s/step)", f"{result.comm_seconds_mean:.4g}"])
+    table.add_row(["jit compile (s)", f"{result.jit_seconds:.3f}"])
+    table.add_row(["collectives per rank", result.collectives_per_rank])
+    table.add_row(["engine events", result.events_processed])
+    return table.render()
+
+
+def virtual_provenance(result: "VirtualRunResult") -> dict:
+    """A provenance-style record of one modeled run (all modeled time)."""
+    return {
+        "workflow": "gray-scott-virtual",
+        "repro_version": __version__,
+        "inputs": {
+            "nranks": result.nranks,
+            "backend": result.backend,
+            "steps": result.steps,
+            "overlap": result.overlap,
+        },
+        "derived": {
+            "nnodes": result.nnodes,
+            "output_steps": result.output_steps,
+            "elapsed_seconds": result.elapsed_seconds,
+            "variability": result.variability,
+            "kernel_seconds_per_step": result.kernel_seconds_per_step,
+            "comm_seconds_mean": result.comm_seconds_mean,
+            "jit_seconds": result.jit_seconds,
+            "events_processed": result.events_processed,
+        },
+    }
+
+
+# -- campaigns ---------------------------------------------------------------
+
+
+def render_campaign(result: "CampaignResult") -> str:
+    from repro.util.tables import Table
+
+    title = f"Campaign: {len(result.reports)} runs"
+    if result.failures:
+        title += f", {len(result.failures)} FAILED"
+    table = Table(
+        ["variant", "F", "k", "steps", "outputs", "V max", "wall (s)"],
+        title=title,
+    )
+    for name, report in result.reports.items():
+        settings = report.settings
+        table.add_row(
+            [
+                name,
+                settings.F,
+                settings.k,
+                report.steps_run,
+                report.output_steps,
+                report.analysis.get("V_max", "-"),
+                f"{report.wall_seconds:.2f}",
+            ]
+        )
+    for name in result.failures:
+        table.add_row([name, "-", "-", "-", "-", "FAILED", "-"])
+    return table.render()
+
+
+def campaign_provenance(result: "CampaignResult") -> dict:
+    record = {
+        "campaign": {
+            name: workflow_provenance(r) for name, r in result.reports.items()
+        }
+    }
+    if result.failures:
+        record["failures"] = {
+            name: error.strip().splitlines()[-1]
+            for name, error in result.failures.items()
+        }
+    return record
+
+
+def write_provenance(record: dict, path) -> Path:
+    """Persist a provenance record as indented JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(record, indent=2))
+    return target
+
+
+# -- unified run results -----------------------------------------------------
+
+
+def render_result(result: "RunResult") -> str:
+    """The report text of a unified :class:`~repro.core.execute.RunResult`.
+
+    This is the single text path shared by the CLI and the service cache
+    — the bytes :mod:`repro.serve` stores and replays on a cache hit.
+    """
+    if result.report is not None:
+        return render_workflow_report(result.report)
+    if result.virtual is not None:
+        return render_virtual_result(result.virtual)
+    raise ValueError("RunResult carries neither a report nor a virtual result")
+
+
+def result_provenance(result: "RunResult") -> dict:
+    if result.report is not None:
+        return workflow_provenance(result.report)
+    if result.virtual is not None:
+        return virtual_provenance(result.virtual)
+    raise ValueError("RunResult carries neither a report nor a virtual result")

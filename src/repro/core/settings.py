@@ -11,8 +11,9 @@ are rejected so typos fail loudly.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 
 from repro.core.params import GrayScottParams
@@ -65,6 +66,21 @@ class GrayScottSettings:
     ranks: int = 0
 
     def __post_init__(self) -> None:
+        # Normalize numeric types before validation: JSON settings files
+        # (and with_overrides calls) may carry `1` where the field is a
+        # float. Without this, `F=1` and `F=1.0` would be equal settings
+        # with different to_json bytes — and different canonical_hash
+        # digests. -0.0 folds to 0.0 for the same reason: equal values
+        # must serialize identically.
+        for spec in fields(self):
+            if spec.type != "float":
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            # `+ 0.0` folds -0.0 to +0.0; the fold is unconditional
+            # because -0.0 == 0.0 would defeat any equality guard
+            object.__setattr__(self, spec.name, float(value) + 0.0)
         if self.L < 4:
             raise ConfigError(f"L must be >= 4 (got {self.L})")
         for axis, n in (("nx", self.nx), ("ny", self.ny), ("nz", self.nz)):
@@ -106,6 +122,27 @@ class GrayScottSettings:
 
     def with_overrides(self, **kwargs) -> "GrayScottSettings":
         return replace(self, **kwargs)
+
+    # -- canonical identity -------------------------------------------------
+    def canonical_json(self) -> str:
+        """The canonical one-line serialization: sorted keys, no spaces.
+
+        Because ``__post_init__`` normalizes numeric types, two settings
+        objects compare equal if and only if their canonical JSON is
+        byte-identical — regardless of the field order of the settings
+        file they were loaded from, or how many ``to_json``/``from_json``
+        / ``with_overrides`` round trips they went through.
+        """
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    def canonical_hash(self) -> str:
+        """A stable content digest of this configuration (hex sha256).
+
+        This is the cache key of :class:`repro.serve.ResultStore`:
+        identical configurations — under any serialization round trip —
+        hash identically, so a service answers them from cache.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     # -- JSON round trip ----------------------------------------------------
     def to_json(self) -> str:

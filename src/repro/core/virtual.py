@@ -61,34 +61,9 @@ class VirtualRunResult:
         return float((finish.max() - finish.min()) / finish.mean())
 
     def render(self) -> str:
-        from repro.util.tables import Table
+        from repro.core import present
 
-        mode = "overlapped (nonblocking halo + async drain)" if self.overlap \
-            else "serial (blocking halo + blocking writes)"
-        table = Table(
-            ["quantity", "value"],
-            title=f"virtual SPMD run: {self.nranks} ranks on "
-                  f"{self.nnodes} node(s), {mode}",
-        )
-        table.add_row(["backend", self.backend])
-        table.add_row(["solve steps", self.steps])
-        table.add_row(["output steps", self.output_steps])
-        table.add_row(["modeled elapsed (s)", f"{self.elapsed_seconds:.3f}"])
-        table.add_row(
-            ["rank finish min/mean/max (s)",
-             f"{self.rank_finish_seconds.min():.3f} / "
-             f"{self.rank_finish_seconds.mean():.3f} / "
-             f"{self.rank_finish_seconds.max():.3f}"]
-        )
-        table.add_row(["variability", f"{self.variability * 100:.1f}%"])
-        table.add_row(
-            ["kernel (s/step)", f"{self.kernel_seconds_per_step:.4g}"]
-        )
-        table.add_row(["halo mean (s/step)", f"{self.comm_seconds_mean:.4g}"])
-        table.add_row(["jit compile (s)", f"{self.jit_seconds:.3f}"])
-        table.add_row(["collectives per rank", self.collectives_per_rank])
-        table.add_row(["engine events", self.events_processed])
-        return table.render()
+        return present.render_virtual_result(self)
 
 
 class VirtualWorkflow:

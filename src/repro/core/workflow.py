@@ -14,7 +14,6 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
-from repro._version import __version__
 from repro.core.restart import write_checkpoint
 from repro.core.settings import GrayScottSettings
 from repro.core.simulation import Simulation
@@ -40,36 +39,14 @@ class WorkflowReport:
 
     def provenance(self) -> dict:
         """The machine-readable provenance record."""
-        record = {
-            "workflow": "gray-scott",
-            "repro_version": __version__,
-            "inputs": self.settings.params().as_attributes()
-            | {"L": self.settings.L, "steps": self.settings.steps,
-               "plotgap": self.settings.plotgap, "seed": self.settings.seed,
-               "backend": self.settings.backend},
-            "outputs": {
-                "dataset": self.dataset,
-                "output_steps": self.output_steps,
-                "checkpoints": list(self.checkpoints),
-            },
-            "derived": dict(self.analysis),
-        }
-        if self.metrics:
-            record["metrics"] = dict(self.metrics)
-        return record
+        from repro.core import present
+
+        return present.workflow_provenance(self)
 
     def render(self) -> str:
-        from repro.util.tables import Table
+        from repro.core import present
 
-        t = Table(["field", "value"], title="Gray-Scott workflow report")
-        t.add_row(["dataset", self.dataset])
-        t.add_row(["steps run", self.steps_run])
-        t.add_row(["output steps", self.output_steps])
-        t.add_row(["checkpoints", len(self.checkpoints)])
-        t.add_row(["wall time (s)", f"{self.wall_seconds:.3f}"])
-        for key, value in self.analysis.items():
-            t.add_row([f"analysis.{key}", value])
-        return t.render()
+        return present.render_workflow_report(self)
 
 
 class Workflow:

@@ -1,0 +1,189 @@
+"""A persistent, future-based worker pool for the service.
+
+:func:`repro.par.run_tasks` is batch-synchronous: it spins workers up,
+drains a fixed task list, and joins them. A service needs the opposite
+lifecycle — workers that outlive any one request and a ``submit() ->
+Future`` interface the asyncio front end can await. :class:`WorkerPool`
+provides that while reusing :mod:`repro.par`'s discipline: the same
+fork-preferring context selection, the same tracer detachment inside
+workers, and the same :mod:`repro.par.shm` zero-copy transport for
+large NumPy results.
+
+A collector thread drains the result queue and resolves
+``concurrent.futures.Future`` objects, which ``asyncio.wrap_future``
+bridges into the event loop. Worker death with tasks in flight fails
+the affected futures with :class:`~repro.util.errors.ServeError`
+instead of hanging them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import threading
+import traceback
+from concurrent.futures import Future
+from typing import Callable
+
+from repro.par import shm
+from repro.util.errors import ServeError
+
+
+def _pool_worker(worker_id: int, fn: Callable, task_q, result_q) -> None:
+    # Detach any tracer a forked worker inherited: recording into the
+    # parent's copy would be silently discarded (see repro.par.pool).
+    from repro.observe import trace as observe
+
+    observe.deactivate()
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        task_id, payload = item
+        try:
+            result_q.put((task_id, True, shm.encode(fn(payload))))
+        except Exception:
+            result_q.put((task_id, False, traceback.format_exc()))
+
+
+class WorkerPool:
+    """``workers`` persistent processes evaluating one pickled function.
+
+    >>> pool = WorkerPool(execute_and_render, workers=4)
+    >>> future = pool.submit(spec)     # concurrent.futures.Future
+    >>> result = future.result()
+    >>> pool.close()
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        workers: int = 2,
+        context: str | None = None,
+    ):
+        if workers < 1:
+            raise ServeError(f"worker pool needs >= 1 worker, got {workers}")
+        if context is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(context)
+        self.workers = workers
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(w, fn, self._task_q, self._result_q),
+                daemon=True,
+            )
+            for w in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        self._collector = threading.Thread(
+            target=self._collect, name="serve-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- front-end side ------------------------------------------------------
+    def submit(self, payload) -> Future:
+        """Queue one task; the Future resolves from the collector thread."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise ServeError("submit() on a closed worker pool")
+            task_id = self._next_id
+            self._next_id += 1
+            self._pending[task_id] = future
+            self.submitted += 1
+        self._task_q.put((task_id, payload))
+        return future
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- collector side ------------------------------------------------------
+    def _collect(self) -> None:
+        while True:
+            try:
+                msg = self._result_q.get(timeout=0.5)
+            except queue_mod.Empty:
+                if self._closed and not self._pending:
+                    return
+                self._check_workers()
+                continue
+            if msg is None:
+                return
+            task_id, ok, payload = msg
+            with self._lock:
+                future = self._pending.pop(task_id, None)
+            if future is None:  # pragma: no cover - cancelled/unknown id
+                if ok:
+                    shm.discard(payload)
+                continue
+            self.completed += 1
+            if ok:
+                future.set_result(shm.decode(payload))
+            else:
+                future.set_exception(
+                    ServeError(f"service job failed in a worker:\n{payload.rstrip()}")
+                )
+
+    def _check_workers(self) -> None:
+        dead = [
+            w for w, proc in enumerate(self._procs)
+            if not proc.is_alive() and proc.exitcode not in (0, None)
+        ]
+        if not dead:
+            return
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._closed = True
+        error = ServeError(
+            f"pool worker(s) {dead} died with nonzero exit codes; "
+            "failing all in-flight jobs"
+        )
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    # -- shutdown ------------------------------------------------------------
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain workers, join everything (idempotent)."""
+        with self._lock:
+            if getattr(self, "_shut_down", False):
+                return
+            self._shut_down = True
+            self._closed = True
+        for _ in self._procs:
+            self._task_q.put(None)
+        for proc in self._procs:
+            proc.join(timeout)
+        self._result_q.put(None)
+        self._collector.join(timeout)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(1.0)
+        with self._lock:
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for future in stranded:  # pragma: no cover - close with work queued
+            if not future.done():
+                future.set_exception(ServeError("worker pool closed"))
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -100,6 +100,24 @@ class ParError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the simulation service layer.
+
+    Raised for service misconfiguration, worker-pool faults, and jobs
+    submitted against a closed service.
+    """
+
+
+class AdmissionError(ServeError):
+    """The service refused a job: the admission queue is saturated.
+
+    This is the *admission control* half of the backpressure policy —
+    a non-waiting submit against a full queue fails fast instead of
+    queueing unboundedly (waiting submits block instead; see
+    docs/SERVICE.md).
+    """
+
+
 class GpuError(ReproError):
     """Base class for errors raised by the GPU simulator."""
 

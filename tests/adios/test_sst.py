@@ -191,6 +191,119 @@ class TestStreamingErrors:
             io.open("x", "a")
 
 
+class TestBackpressureAndCleanup:
+    def test_writer_side_queue_limit_saturation(self):
+        """Writer-visible saturation: backlog() counts queued steps up
+        to queue_limit, and the writer can see the next end_step would
+        block before it commits to it."""
+        io = _writer_io()
+        u = io.define_variable("U", np.float64, shape=(2, 2, 2),
+                               count=(2, 2, 2))
+        io.set_parameter("QueueLimit", 3)
+        writer = io.open("bp1", "w")
+        assert writer.queue_limit == 3
+        assert writer.backlog() == 0
+        for expected in (1, 2, 3):
+            writer.begin_step()
+            writer.put(u, np.zeros((2, 2, 2)))
+            writer.end_step()
+            assert writer.backlog() == expected
+        # saturated: a drop-over-stall producer (the serve telemetry
+        # policy) checks exactly this predicate
+        assert writer.backlog() >= writer.queue_limit
+
+        reader = SSTReader(None, "bp1")
+        assert reader.begin_step(timeout=5) == OK
+        reader.end_step()
+        assert writer.backlog() == 2  # one step drained
+        writer.close()
+
+    def test_reader_begin_step_timeout_then_recovers(self):
+        """A stalled producer yields TIMEOUT (not an exception), and
+        the same reader continues normally once data arrives."""
+        io = _writer_io()
+        u = io.define_variable("U", np.float64, shape=(2, 2, 2),
+                               count=(2, 2, 2))
+        writer = io.open("bp2", "w")
+        reader = SSTReader(None, "bp2")
+        assert reader.begin_step(timeout=0.05) == TIMEOUT
+        assert reader.begin_step(timeout=0.05) == TIMEOUT  # not sticky
+        writer.begin_step()
+        writer.put(u, np.full((2, 2, 2), 7.0, order="F"))
+        writer.end_step()
+        assert reader.begin_step(timeout=5) == OK
+        assert float(reader.get("U")[0, 0, 0]) == 7.0
+        reader.end_step()
+        writer.close()
+        assert reader.begin_step(timeout=5) == END_OF_STREAM
+
+    def test_abort_releases_name_and_signals_reader(self):
+        """release/reset cleanup after an abnormally terminated writer:
+        abort() never blocks (even saturated), the attached reader sees
+        END_OF_STREAM, and the name is immediately reusable."""
+        io = _writer_io()
+        u = io.define_variable("U", np.float64, shape=(2, 2, 2),
+                               count=(2, 2, 2))
+        io.set_parameter("QueueLimit", 1)
+        writer = io.open("bp3", "w")
+        reader = SSTReader(None, "bp3")
+        writer.begin_step()
+        writer.put(u, np.zeros((2, 2, 2)))
+        writer.end_step()  # queue now full
+        assert writer.backlog() == writer.queue_limit
+        writer.abort()  # must not block despite the full queue
+        # the queued data packet was sacrificed for the EOS marker
+        assert reader.begin_step(timeout=5) == END_OF_STREAM
+        # the name is free again: a new writer can open it right away
+        io2 = _writer_io("w2")
+        io2.define_variable("U", np.float64, shape=(2, 2, 2),
+                            count=(2, 2, 2))
+        writer2 = io2.open("bp3", "w")
+        writer2.close()
+
+    def test_with_block_exception_aborts_instead_of_leaking(self):
+        """A writer dying inside its with-block (the abnormal
+        termination path) used to leave the broker registration behind;
+        __exit__ now aborts: reader unblocked, name reusable."""
+        io = _writer_io()
+        u = io.define_variable("U", np.float64, shape=(2, 2, 2),
+                               count=(2, 2, 2))
+        statuses = []
+
+        def consume():
+            reader = SSTReader(None, "bp4")
+            statuses.append(reader.begin_step(timeout=10))
+            if statuses[-1] == OK:
+                reader.end_step()
+                statuses.append(reader.begin_step(timeout=10))
+
+        with pytest.raises(RuntimeError, match="solver exploded"):
+            with io.open("bp4", "w") as writer:
+                consumer = threading.Thread(target=consume, daemon=True)
+                consumer.start()
+                writer.begin_step()
+                writer.put(u, np.zeros((2, 2, 2)))
+                writer.end_step()
+                raise RuntimeError("solver exploded")
+        consumer.join(10)
+        assert not consumer.is_alive()
+        assert statuses[-1] == END_OF_STREAM
+        # broker entry released by the abort — not leaked
+        assert "bp4" not in SstBroker._streams
+        # mid-step death is also safe: abort closes the open step
+        writer2 = _writer_io("w2").open("bp4", "w")
+        writer2.begin_step()
+        writer2.abort()
+        assert "bp4" not in SstBroker._streams
+
+    def test_abort_is_idempotent_after_close(self):
+        io = _writer_io()
+        writer = io.open("bp5", "w")
+        writer.close()
+        writer.abort()  # fine: already closed, still releases the name
+        assert "bp5" not in SstBroker._streams
+
+
 class TestParallelStreaming:
     def test_multi_rank_writer_single_reader(self):
         """4 writer ranks stream blocks; the reader assembles globals."""

@@ -24,7 +24,7 @@ from repro.bench.perfsuite import (
 CASE_NAMES = {
     "cache_sweep", "jit_trace_memo", "pack_unpack",
     "io_bp5", "par_speedup", "sched_engine", "trace_streaming",
-    "ir_passes",
+    "ir_passes", "serve_load",
 }
 
 
@@ -89,6 +89,27 @@ class TestSchema:
         assert 0 < m["arith_reduction"] < 1
         # rewrites are legal: evaluation stayed bit-identical
         assert case["identical"] is True
+
+    def test_serve_load_case_reports_cache_contract(self, payload):
+        from repro.bench.perfsuite import HIT_MISS_P99_LIMIT
+
+        (case,) = [c for c in payload["cases"] if c["name"] == "serve_load"]
+        m = case["metrics"]
+        assert m["clients"] > 0 and m["requests_per_client"] > 0
+        assert m["completed"] == m["clients"] * m["requests_per_client"]
+        assert m["failed"] == 0
+        assert m["cache_hits"] > 0
+        assert m["jobs_per_second"] > 0
+        assert m["normalized_rate"] > 0
+        assert m["miss_p99_seconds"] > m["hit_p99_seconds"]
+        # payload values are rounded to 6 decimals, so only loosely
+        # consistent with the re-derived quotient
+        assert m["hit_miss_p99_ratio"] == pytest.approx(
+            m["hit_p99_seconds"] / m["miss_p99_seconds"], rel=0.25
+        )
+        # the service contract: hits at least 10x faster than misses
+        assert m["hit_miss_p99_ratio"] <= HIT_MISS_P99_LIMIT
+        assert m["hit_miss_p99_limit"] == HIT_MISS_P99_LIMIT
 
     def test_payload_is_json_serializable(self, payload, tmp_path):
         path = tmp_path / "BENCH_selfperf.json"
@@ -161,6 +182,16 @@ class TestGate:
         assert any("tracing overhead" in f for f in failures)
         # the limit is absolute: it survives the baseline derate
         assert any("1.10x limit" in f for f in failures)
+
+    def test_hit_miss_ratio_gated_absolutely(self, payload):
+        doctored = copy.deepcopy(payload)
+        for case in doctored["cases"]:
+            if case["name"] == "serve_load":
+                case["metrics"]["hit_miss_p99_ratio"] = 0.5
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert any("cache-hit p99" in f for f in failures)
+        # absolute limit: survives the baseline derate, names the 10x bar
+        assert any("10x faster" in f for f in failures)
 
     def test_rejects_wrong_schema(self, payload):
         doctored = copy.deepcopy(payload)

@@ -71,3 +71,92 @@ class TestCampaign:
         campaign.add("raw")
         result = campaign.run(analyze=False)
         assert result.reports["raw"].analysis == {}
+
+
+class TestParallelCampaign:
+    def _populate(self, base, workdir):
+        campaign = Campaign(base, workdir=workdir)
+        campaign.add("one", F=0.02)
+        campaign.add("two", F=0.025)
+        campaign.add("three", F=0.03)
+        return campaign
+
+    def test_jobs2_collects_the_same_reports(self, base, tmp_path):
+        result = self._populate(base, tmp_path / "par").run(jobs=2)
+        assert list(result.reports) == ["one", "two", "three"]
+        assert result.ok
+
+    def test_jobs2_byte_identical_to_serial(self, base, tmp_path):
+        """The satellite contract: provenance JSON and every dataset
+        byte on disk match the serial run exactly."""
+        import json
+
+        serial_dir, par_dir = tmp_path / "serial", tmp_path / "par"
+        serial = self._populate(base, serial_dir).run(jobs=1)
+        parallel = self._populate(base, par_dir).run(jobs=2)
+
+        serial_prov = json.dumps(serial.provenance(), sort_keys=True)
+        par_prov = json.dumps(parallel.provenance(), sort_keys=True)
+        # provenance embeds per-variant output paths; normalize the dirs
+        assert par_prov.replace(str(par_dir), str(serial_dir)) == serial_prov
+
+        for name in ("one", "two", "three"):
+            serial_files = sorted(
+                p.relative_to(serial_dir) for p in
+                (serial_dir / f"{name}.bp").rglob("*") if p.is_file()
+            )
+            par_files = sorted(
+                p.relative_to(par_dir) for p in
+                (par_dir / f"{name}.bp").rglob("*") if p.is_file()
+            )
+            assert serial_files == par_files
+            for rel in serial_files:
+                assert (serial_dir / rel).read_bytes() == \
+                    (par_dir / rel).read_bytes(), rel
+
+    def test_member_failure_captured_not_raised(self, base, tmp_path,
+                                                monkeypatch):
+        import repro.core.campaign as campaign_mod
+
+        real = campaign_mod._run_member
+
+        def sabotaged(task):
+            if task[0] == "two":
+                return "two", False, "Traceback...\nRuntimeError: boom"
+            return real(task)
+
+        monkeypatch.setattr(campaign_mod, "_run_member", sabotaged)
+        result = self._populate(base, tmp_path / "f").run()
+        assert not result.ok
+        assert set(result.reports) == {"one", "three"}
+        assert "boom" in result.failures["two"]
+
+    def test_failure_rendering_and_provenance(self, base, tmp_path,
+                                              monkeypatch):
+        import repro.core.campaign as campaign_mod
+
+        monkeypatch.setattr(
+            campaign_mod, "_run_member",
+            lambda task: (task[0], False, "ValueError: bad physics"),
+        )
+        campaign = Campaign(base, workdir=tmp_path)
+        campaign.add("doomed")
+        result = campaign.run()
+        text = result.render()
+        assert "1 FAILED" in text
+        assert "doomed" in text
+        prov = result.provenance()
+        assert prov["failures"]["doomed"] == "ValueError: bad physics"
+
+    def test_real_member_failure_is_isolated(self, base, tmp_path):
+        """A variant whose run genuinely raises (output path nested
+        under a regular file) fails alone; the others still complete."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        campaign = Campaign(base, workdir=tmp_path / "iso")
+        campaign.add("good", F=0.02)
+        campaign.add("bad", F=0.025, output=str(blocker / "x.bp"))
+        result = campaign.run()
+        assert not result.ok
+        assert "good" in result.reports
+        assert "bad" in result.failures

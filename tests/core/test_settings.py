@@ -74,3 +74,64 @@ class TestSettings:
         }"""
         s = GrayScottSettings.from_json(text)
         assert s.L == 64 and s.output == "gs-64.bp"
+
+
+class TestCanonicalHash:
+    def test_digest_is_hex_sha256(self):
+        digest = GrayScottSettings().canonical_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_equal_settings_equal_digest(self):
+        a = GrayScottSettings(L=32, F=0.03)
+        b = GrayScottSettings(F=0.03, L=32)
+        assert a.canonical_hash() == b.canonical_hash()
+
+    def test_field_order_in_json_is_irrelevant(self):
+        a = GrayScottSettings.from_json('{"L": 32, "F": 0.03, "k": 0.05}')
+        b = GrayScottSettings.from_json('{"k": 0.05, "F": 0.03, "L": 32}')
+        assert a.canonical_hash() == b.canonical_hash()
+
+    def test_json_roundtrip_preserves_digest(self):
+        s = GrayScottSettings(L=24, steps=50, backend="julia", noise=0.05)
+        back = GrayScottSettings.from_json(s.to_json())
+        assert back.canonical_hash() == s.canonical_hash()
+
+    def test_with_overrides_roundtrip_preserves_digest(self):
+        s = GrayScottSettings(L=24)
+        same = s.with_overrides(L=24)
+        assert same.canonical_hash() == s.canonical_hash()
+
+    def test_int_valued_floats_do_not_drift_the_digest(self):
+        """`"dt": 1` in a settings file must hash like `dt=1.0` — the
+        float-formatting drift that used to break digest stability."""
+        a = GrayScottSettings.from_json('{"dt": 1}')
+        b = GrayScottSettings.from_json('{"dt": 1.0}')
+        assert a.canonical_hash() == b.canonical_hash()
+        assert type(a.dt) is float
+
+    def test_override_with_int_matches_float(self):
+        a = GrayScottSettings().with_overrides(dt=1)
+        b = GrayScottSettings().with_overrides(dt=1.0)
+        assert a == b
+        assert a.canonical_hash() == b.canonical_hash()
+        assert a.to_json() == b.to_json()
+
+    def test_negative_zero_folds_to_zero(self):
+        a = GrayScottSettings(noise=0.0)
+        b = GrayScottSettings(noise=-0.0)
+        assert a.canonical_hash() == b.canonical_hash()
+
+    def test_different_settings_different_digest(self):
+        assert (
+            GrayScottSettings(F=0.02).canonical_hash()
+            != GrayScottSettings(F=0.021).canonical_hash()
+        )
+
+    def test_canonical_json_sorted_compact(self):
+        import json as json_mod
+
+        text = GrayScottSettings().canonical_json()
+        obj = json_mod.loads(text)
+        assert list(obj) == sorted(obj)
+        assert ": " not in text and ", " not in text

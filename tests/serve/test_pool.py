@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.serve.pool import WorkerPool
+from repro.util.errors import ServeError
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _array(n):
+    return np.full((n,), float(n), order="F")
+
+
+class TestWorkerPool:
+    def test_submit_resolves_future(self):
+        with WorkerPool(_square, workers=2) as pool:
+            assert pool.submit(7).result(timeout=30) == 49
+
+    def test_many_tasks_all_complete(self):
+        with WorkerPool(_square, workers=2) as pool:
+            futures = [pool.submit(i) for i in range(20)]
+            assert [f.result(timeout=30) for f in futures] == [
+                i * i for i in range(20)
+            ]
+            assert pool.submitted == 20
+            assert pool.completed == 20
+            assert pool.in_flight == 0
+
+    def test_numpy_results_cross_the_boundary(self):
+        with WorkerPool(_array, workers=2) as pool:
+            out = pool.submit(64).result(timeout=30)
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, np.full((64,), 64.0))
+
+    def test_worker_exception_fails_only_that_future(self):
+        with WorkerPool(_fail, workers=1) as pool:
+            future = pool.submit(3)
+            with pytest.raises(ServeError, match="boom on 3"):
+                future.result(timeout=30)
+
+    def test_submit_after_close_raises(self):
+        pool = WorkerPool(_square, workers=1)
+        pool.close()
+        with pytest.raises(ServeError, match="closed"):
+            pool.submit(1)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(_square, workers=1)
+        pool.close()
+        pool.close()  # second close is a no-op, not an error
+
+    def test_workers_validated(self):
+        with pytest.raises(ServeError, match="worker"):
+            WorkerPool(_square, workers=0)

@@ -459,3 +459,103 @@ class TestCliStreaming:
             "run", str(path), "--sim-profile", str(tmp_path / "p.folded"),
         ]) == 2
         assert "--virtual-ranks" in capsys.readouterr().err
+
+
+class TestCliCampaignExitCodes:
+    """Campaign exit codes: 0 all ok, 1 member failure, 2 bad invocation."""
+
+    def _base(self, tmp_path):
+        path = tmp_path / "base.json"
+        GrayScottSettings(L=12, steps=4, plotgap=2, noise=0.0).save(path)
+        return path
+
+    def test_success_is_zero(self, tmp_path, capsys):
+        assert main([
+            "campaign", str(self._base(tmp_path)),
+            "--regimes", "paper", "--workdir", str(tmp_path / "w"),
+        ]) == 0
+        capsys.readouterr()
+
+    def test_parallel_jobs_success_is_zero(self, tmp_path, capsys):
+        assert main([
+            "campaign", str(self._base(tmp_path)),
+            "--regimes", "paper,alpha", "--jobs", "2",
+            "--workdir", str(tmp_path / "w"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign: 2 runs" in out
+        assert (tmp_path / "w" / "paper.bp").exists()
+        assert (tmp_path / "w" / "alpha.bp").exists()
+
+    def test_missing_settings_is_two(self, tmp_path, capsys):
+        assert main([
+            "campaign", str(tmp_path / "nope.json"), "--regimes", "paper",
+        ]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_regime_is_two(self, tmp_path, capsys):
+        assert main([
+            "campaign", str(self._base(tmp_path)), "--regimes", "omega",
+        ]) == 2
+        assert "unknown regime" in capsys.readouterr().err
+
+    def test_member_failure_is_one(self, tmp_path, capsys, monkeypatch):
+        import repro.core.campaign as campaign_mod
+
+        real = campaign_mod._run_member
+
+        def sabotaged(task):
+            if task[0] == "alpha":
+                return "alpha", False, "RuntimeError: solver exploded"
+            return real(task)
+
+        monkeypatch.setattr(campaign_mod, "_run_member", sabotaged)
+        assert main([
+            "campaign", str(self._base(tmp_path)),
+            "--regimes", "paper,alpha", "--workdir", str(tmp_path / "w"),
+        ]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestCliServe:
+    """The serve subcommand: smoke self-check, load replay, usage errors."""
+
+    def test_needs_smoke_or_load(self, settings_file, capsys):
+        assert main(["serve", str(settings_file)]) == 2
+        assert "--smoke or --load" in capsys.readouterr().err
+
+    def test_missing_settings_is_two(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.json"), "--smoke"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_virtual_mode_needs_gpu_backend(self, settings_file, capsys):
+        assert main([
+            "serve", str(settings_file), "--smoke", "--mode", "virtual",
+        ]) == 2
+        assert "GPU backend" in capsys.readouterr().err
+
+    def test_smoke_passes(self, settings_file, tmp_path, capsys):
+        assert main([
+            "serve", str(settings_file), "--smoke",
+            "--backend", "inline", "--workdir", str(tmp_path / "jobs"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok]") == 6
+        assert "[FAIL]" not in out
+        assert "all checks passed" in out
+
+    def test_smoke_thread_backend(self, settings_file, tmp_path, capsys):
+        assert main([
+            "serve", str(settings_file), "--smoke", "--workers", "2",
+            "--workdir", str(tmp_path / "jobs"),
+        ]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_load_replay(self, settings_file, tmp_path, capsys):
+        assert main([
+            "serve", str(settings_file), "--load", "4", "--requests", "3",
+            "--backend", "inline", "--workdir", str(tmp_path / "jobs"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "service cache:" in out
+        assert "requests" in out
