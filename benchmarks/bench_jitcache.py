@@ -1,0 +1,116 @@
+"""JIT warm-start benchmark CLI: the Fig. 7 cold/warm gap, closed.
+
+Two halves, both written to the schema-stable ``BENCH_jitcache.json``:
+
+- **measured** — first-launch latency over distinct kernel
+  specializations in a cold process (full trace) vs. a warm-started
+  one (plans preloaded from the persistent :mod:`repro.gpu.jitcache`),
+  the same measurement as the ``jit_warm`` perfsuite case. Gated
+  absolutely: warm p50 must stay below ``warm_cold_limit`` (0.20) of
+  the cold p50 — warm starts at least 5x faster.
+- **modeled** — the Figure 7 variant: per-GPU first-window bandwidth
+  distributions with full JIT compilation vs. a persisted-plan load,
+  reproducing the paper's ~12.5x cold cost factor and showing the warm
+  start closing it to ~1x. Gated by the variant's shape checks.
+
+CI runs ``--quick`` on every push (the ``jit-cache`` job) and uploads
+the JSON as an artifact. Exit 1 when the warm gate or a shape check
+fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro.bench.jitcache/1"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale sizes (fewer shape classes, fewer modeled GPUs)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_jitcache.json", metavar="PATH",
+        help="where to write the results JSON (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import fig7
+    from repro.bench.perfsuite import WARM_COLD_LIMIT, _case_jit_warm
+    from repro.util.files import atomic_write_text
+
+    # measured: cold-vs-warm first-launch latency through the real cache
+    case = _case_jit_warm(args.quick)
+    ratio = case.metrics["warm_cold_ratio"]
+    print(
+        f"measured first launch: cold p50 "
+        f"{case.metrics['cold_p50_seconds'] * 1e6:.1f} us, warm p50 "
+        f"{case.metrics['warm_p50_seconds'] * 1e6:.1f} us "
+        f"(ratio {ratio:.4f}, limit {WARM_COLD_LIMIT:.2f})"
+    )
+
+    # modeled: the Fig. 7 variant at paper (or CI) scale
+    ngpus = 256 if args.quick else 4096
+    cold, warm = fig7.run_warm_comparison(ngpus=ngpus)
+    print()
+    print(fig7.render_warm(cold, warm))
+    checks = fig7.warm_shape_checks(cold, warm)
+
+    payload = {
+        "schema": SCHEMA,
+        "quick": args.quick,
+        "measured": {
+            "shape_classes": case.metrics["shape_classes"],
+            "cold_p50_seconds": round(case.metrics["cold_p50_seconds"], 9),
+            "warm_p50_seconds": round(case.metrics["warm_p50_seconds"], 9),
+            "warm_cold_ratio": round(ratio, 6),
+            "warm_cold_limit": WARM_COLD_LIMIT,
+            "plans_bit_identical": case.identical,
+        },
+        "modeled": {
+            "ngpus": ngpus,
+            "steps": cold.steps,
+            "cold_cost_factor": round(cold.jit_cost_factor, 3),
+            "warm_cost_factor": round(warm.jit_cost_factor, 3),
+            "gap_closed_factor": round(
+                cold.jit_cost_factor / warm.jit_cost_factor, 3
+            ),
+            "cold_mean_gb_s": round(float(cold.jit_gb_s.mean()), 3),
+            "warm_mean_gb_s": round(float(warm.jit_gb_s.mean()), 3),
+            "optimized_mean_gb_s": round(
+                float(cold.optimized_gb_s.mean()), 3
+            ),
+            "shape_checks": checks,
+        },
+    }
+    atomic_write_text(Path(args.out), json.dumps(payload, indent=2) + "\n")
+    print(f"\nresults written to {args.out}")
+
+    failures = []
+    if ratio > WARM_COLD_LIMIT:
+        failures.append(
+            f"warm/cold first-launch p50 ratio {ratio:.4f} exceeds the "
+            f"{WARM_COLD_LIMIT:.2f} limit (warm must be >= "
+            f"{1 / WARM_COLD_LIMIT:.0f}x faster)"
+        )
+    if case.identical is False:
+        failures.append("persisted plans are not bit-identical to fresh traces")
+    failures.extend(
+        f"modeled shape check failed: {name}"
+        for name, ok in checks.items() if not ok
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("jit-cache gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,18 +53,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro.bench import perfsuite
+    from repro.util.files import atomic_write_text
 
     suite = perfsuite.run_suite(quick=args.quick)
     print(perfsuite.render(suite))
     payload = perfsuite.to_json(suite)
     out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
     print(f"results written to {out}")
 
     if args.write_baseline is not None:
         baseline_out = Path(args.write_baseline)
-        baseline_out.write_text(
-            json.dumps(perfsuite.to_baseline(payload), indent=2) + "\n"
+        atomic_write_text(
+            baseline_out,
+            json.dumps(perfsuite.to_baseline(payload), indent=2) + "\n",
         )
         print(f"derated baseline written to {baseline_out}")
 

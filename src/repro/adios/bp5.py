@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.adios.variable import Attribute, BlockInfo
 from repro.util.errors import CorruptFileError
+from repro.util.files import atomic_write_text
 
 FORMAT_NAME = "repro-bp5"
 FORMAT_VERSION = 1
@@ -155,9 +156,8 @@ def create_dataset(path: Path, nsubfiles: int) -> None:
 
 
 def write_index(path: Path, index: Bp5Index) -> None:
-    tmp = path / (INDEX_FILE + ".tmp")
-    tmp.write_text(json.dumps(index.to_json(), indent=1))
-    tmp.replace(path / INDEX_FILE)  # atomic: readers never see a torn index
+    # atomic write-then-rename: readers never see a torn index
+    atomic_write_text(path / INDEX_FILE, json.dumps(index.to_json(), indent=1))
 
 
 def read_index(path: str | os.PathLike) -> Bp5Index:

@@ -40,7 +40,15 @@ bit-identity where a reference exists:
   p50/p99, gated against the *absolute*
   ``hit_miss_p99_limit`` (0.10): a cache hit's tail latency must stay
   at least 10x below a cache miss's — the service contract, not a
-  host-relative floor.
+  host-relative floor;
+- ``jit_warm`` — the persistent compilation cache
+  (:mod:`repro.gpu.jitcache`): first-launch latency over distinct
+  kernel specializations in a cold process (full trace) vs. a
+  warm-started one (plans preloaded from disk), gated against the
+  *absolute* ``warm_cold_limit`` (0.20): a warm first launch's p50
+  must stay at least 5x below a cold one's — the warm-start contract
+  (the Fig. 7 gap, closed) — with bit-identity of every persisted
+  plan against a fresh trace.
 
 ``run_suite`` returns a :class:`SuiteResult`; ``to_json`` produces the
 schema-stable payload written to ``BENCH_selfperf.json`` (schema id
@@ -577,6 +585,96 @@ def _case_serve_load(quick: bool, loop_score: float) -> CaseResult:
     )
 
 
+#: absolute ceiling on the jit_warm warm/cold first-launch p50 ratio
+#: (warm starts from the persistent cache must answer first launches
+#: >= 5x faster than cold traces) enforced by :func:`check_regressions`
+WARM_COLD_LIMIT = 0.20
+
+
+def _case_jit_warm(quick: bool) -> CaseResult:
+    import tempfile
+
+    from repro.core.settings import GrayScottSettings
+    from repro.core.stencil import kernel_args, make_gray_scott_kernel
+    from repro.gpu import jitcache
+    from repro.gpu.jit import TraceMemo, trace_kernel
+
+    settings = GrayScottSettings(L=16, backend="julia")
+    kernel = make_gray_scott_kernel()
+    edges = range(8, 14) if quick else range(8, 24)
+    arg_sets = []
+    for edge in edges:
+        shape = (edge,) * 3
+        u, v = (np.ones(shape, order="F") for _ in range(2))
+        u_new, v_new = (np.zeros(shape, order="F") for _ in range(2))
+        arg_sets.append(
+            kernel_args(u, v, u_new, v_new, settings.params(), seed=1, step=0)
+        )
+
+    def first_launches(memo: TraceMemo) -> list[float]:
+        times = []
+        for args in arg_sets:
+            t0 = time.perf_counter()
+            memo.trace(kernel, args)
+            times.append(time.perf_counter() - t0)
+        return times
+
+    repeats = 3
+    with tempfile.TemporaryDirectory() as tmp:
+        # cold: a fresh process traces every specialization on first
+        # launch (no disk tier attached — pure trace cost)
+        cold_times = np.full(len(arg_sets), np.inf)
+        for _ in range(repeats):
+            cold_times = np.minimum(
+                cold_times, first_launches(TraceMemo())
+            )
+
+        # persist every plan, as `run --jit-cache` would have
+        seed_memo = TraceMemo()
+        cache = jitcache.JitDiskCache(tmp)
+        for args in arg_sets:
+            key = seed_memo.signature(kernel, args, None)
+            cache.store(key, kernel, seed_memo.trace(kernel, args))
+
+        # warm: a fresh memo preloaded from the persisted plans — the
+        # first launch of every specialization is already a memo hit
+        warm_times = np.full(len(arg_sets), np.inf)
+        warm_memo = TraceMemo()
+        for _ in range(repeats):
+            warm_memo = TraceMemo()
+            preloaded = jitcache.warm_start(tmp, memo=warm_memo)["preloaded"]
+            warm_times = np.minimum(
+                warm_times, first_launches(warm_memo)
+            )
+        jitcache.deconfigure(memo=warm_memo)
+
+        # bit-identity: every warm answer is byte for byte the plan a
+        # fresh trace of the same specialization produces
+        identical = all(
+            jitcache.serialize_trace(warm_memo.trace(kernel, args))
+            == jitcache.serialize_trace(trace_kernel(kernel, args))
+            for args in arg_sets
+        )
+
+    cold_p50 = float(np.percentile(cold_times, 50))
+    warm_p50 = float(np.percentile(warm_times, 50))
+    return CaseResult(
+        name="jit_warm",
+        optimized_seconds=float(warm_times.sum()),
+        reference_seconds=float(cold_times.sum()),
+        identical=identical,
+        metrics={
+            "shape_classes": len(arg_sets),
+            "preloaded": preloaded,
+            "warm_memo_hits": warm_memo.hits,
+            "cold_p50_seconds": cold_p50,
+            "warm_p50_seconds": warm_p50,
+            "warm_cold_ratio": warm_p50 / cold_p50,
+            "warm_cold_limit": WARM_COLD_LIMIT,
+        },
+    )
+
+
 def run_suite(*, quick: bool = False) -> SuiteResult:
     """Run all hot-path cases; ``quick`` shrinks sizes to CI scale."""
     loop_score = _measure_loop_score()
@@ -590,6 +688,7 @@ def run_suite(*, quick: bool = False) -> SuiteResult:
         _case_trace_streaming(quick, loop_score),
         _case_ir_passes(quick),
         _case_serve_load(quick, loop_score),
+        _case_jit_warm(quick),
     ]
     return SuiteResult(quick=quick, loop_score=loop_score, cases=cases)
 
@@ -720,6 +819,16 @@ def check_regressions(
                 f"{name}: cache-hit p99 is {cur_ratio:.3f}x of the miss "
                 f"p99, above the absolute {ratio_limit:.2f} limit "
                 f"(hits must stay >= {1 / ratio_limit:.0f}x faster)"
+            )
+        # and for the persistent JIT cache: a warm first-launch p50
+        # must stay at least 1/limit times below the cold-trace p50
+        warm_limit = base.get("metrics", {}).get("warm_cold_limit")
+        cur_warm = cur.get("metrics", {}).get("warm_cold_ratio")
+        if warm_limit and cur_warm is not None and cur_warm > warm_limit:
+            failures.append(
+                f"{name}: warm first-launch p50 is {cur_warm:.3f}x of the "
+                f"cold p50, above the absolute {warm_limit:.2f} limit "
+                f"(warm starts must stay >= {1 / warm_limit:.0f}x faster)"
             )
     return failures
 

@@ -94,6 +94,27 @@ def _probe_trace_out(path: str, mode: str) -> str | None:
     return None
 
 
+def _probe_jit_cache(path: str) -> str | None:
+    """An error message if a JIT cache at ``path`` cannot be used, else None.
+
+    Same early-failure contract as ``--trace-out``: a bad cache path
+    exits 2 before the run starts.
+    """
+    import os
+    from pathlib import Path
+
+    p = Path(path)
+    if p.exists() and not p.is_dir():
+        return f"jit cache path {p} exists and is not a directory"
+    try:
+        p.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        return f"cannot create jit cache directory {p}: {exc}"
+    if not os.access(p, os.W_OK):
+        return f"jit cache directory {p} is not writable"
+    return None
+
+
 def _streaming_tracer(trace_out: str):
     """A retain-nothing tracer streaming to ``trace_out`` shards."""
     from repro.observe.stream import ShardedPerfettoWriter
@@ -130,6 +151,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if problem is not None:
             print(f"grayscott: {problem}", file=sys.stderr)
             return 2
+    if args.jit_cache:
+        problem = _probe_jit_cache(args.jit_cache)
+        if problem is not None:
+            print(f"grayscott: {problem}", file=sys.stderr)
+            return 2
+        from repro.gpu import jitcache
+
+        warm = jitcache.warm_start(args.jit_cache)
+        print(f"jit cache: {warm['preloaded']} plan(s) preloaded from "
+              f"{args.jit_cache}")
 
     if args.virtual_ranks is not None:
         return _run_virtual(args, settings, trace_mode)
@@ -287,9 +318,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         text = render_text(report, title=f"lint: {args.settings}")
     if args.out:
+        from repro.util.files import atomic_write_text
+
         try:
-            with open(args.out, "w") as handle:
-                handle.write(text + "\n")
+            atomic_write_text(args.out, text + "\n")
         except OSError as exc:
             print(f"grayscott: cannot write {args.out}: {exc}",
                   file=sys.stderr)
@@ -342,9 +374,10 @@ def _ir_module(args):
 
 def _emit(text: str, out: str | None, what: str) -> int:
     if out:
+        from repro.util.files import atomic_write_text
+
         try:
-            with open(out, "w") as handle:
-                handle.write(text + "\n")
+            atomic_write_text(out, text + "\n")
         except OSError as exc:
             print(f"grayscott: cannot write {out}: {exc}", file=sys.stderr)
             return 2
@@ -587,6 +620,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("grayscott: --mode virtual needs a GPU backend (julia/hip) "
               "in the settings", file=sys.stderr)
         return 2
+    if args.warm_cache:
+        problem = _probe_jit_cache(args.warm_cache)
+        if problem is not None:
+            print(f"grayscott: {problem}", file=sys.stderr)
+            return 2
 
     with tempfile.TemporaryDirectory(prefix="grayscott-serve-") as scratch:
         workdir = args.workdir or scratch
@@ -617,6 +655,7 @@ def _serve_smoke(args: argparse.Namespace, settings, workdir: str) -> int:
         async with SimService(
             workers=args.workers, backend=args.backend,
             workdir=workdir, stream=args.stream,
+            jit_cache=args.warm_cache,
         ) as service:
             cold = await service.run(specs[0])
             hot = await service.run(specs[0])
@@ -660,6 +699,7 @@ def _serve_load(args: argparse.Namespace, settings, workdir: str) -> int:
         pace=args.pace,
         workdir=workdir,
         stream=args.stream,
+        jit_cache=args.warm_cache,
     )
     print(report.render())
     print()
@@ -668,6 +708,52 @@ def _serve_load(args: argparse.Namespace, settings, workdir: str) -> int:
           f"{stats['coalesced']} coalesced, "
           f"{stats['store']['entries']} entries")
     return 1 if report.failed else 0
+
+
+def _cmd_jitcache(args: argparse.Namespace) -> int:
+    """``grayscott jit-cache <stats|clear> DIR``: manage persisted plans.
+
+    Exit codes follow the usage contract: 0 on success, 2 when the
+    directory does not exist or cannot be used as a cache.
+    """
+    from pathlib import Path
+
+    from repro.gpu.jitcache import JitCacheError, JitDiskCache
+    from repro.util.tables import Table
+
+    p = Path(args.path)
+    if not p.is_dir():
+        print(f"grayscott: jit cache directory {p} does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        cache = JitDiskCache(p)
+    except JitCacheError as exc:
+        print(f"grayscott: {exc}", file=sys.stderr)
+        return 2
+
+    if args.jitcache_command == "clear":
+        removed = cache.clear()
+        print(f"jit cache cleared: {removed} entry(ies) removed from {p}")
+        return 0
+
+    # stats: entries() first — it drops corrupt files, so the totals
+    # reported afterwards only count valid plans.
+    entries = cache.entries()
+    stats = cache.stats()
+    table = Table(["quantity", "value"], title=f"jit cache: {p}")
+    table.add_row(["schema", stats["schema"]])
+    table.add_row(["entries", stats["entries"]])
+    table.add_row(["bytes", stats["bytes"]])
+    table.add_row(["max entries", stats["max_entries"]])
+    table.add_row(["corrupt (dropped)", stats["corrupt"]])
+    by_kernel: dict[str, int] = {}
+    for entry in entries:
+        by_kernel[entry["kernel"]] = by_kernel.get(entry["kernel"], 0) + 1
+    for kernel in sorted(by_kernel):
+        table.add_row([f"plans: {kernel}", by_kernel[kernel]])
+    print(table.render())
+    return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -717,6 +803,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.bench import fig7
 
         print(fig7.render(fig7.run()))
+        print()
+        print(fig7.render_warm(*fig7.run_warm_comparison()))
     elif target == "fig8":
         from repro.bench import fig8
 
@@ -794,6 +882,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --virtual-ranks: shard the modeled ranks over N worker "
              "processes (0 = all cores); results are bit-identical to "
              "--jobs 1",
+    )
+    p_run.add_argument(
+        "--jit-cache", metavar="DIR",
+        help="persist JIT compilation plans under DIR and warm-start "
+             "from any already there (see docs/PERFORMANCE.md)",
     )
     p_run.add_argument(
         "--timings", action="store_true",
@@ -1031,7 +1124,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="publish job lifecycle events on this adios.sst stream "
              "(lossy: dropped, never blocking, when no reader keeps up)",
     )
+    p_serve.add_argument(
+        "--warm-cache", metavar="DIR",
+        help="warm-start every worker from the persistent JIT plan "
+             "cache under DIR (populate it with 'run --jit-cache DIR')",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_jc = sub.add_parser(
+        "jit-cache", help="inspect or clear a persistent JIT plan cache"
+    )
+    jc_sub = p_jc.add_subparsers(dest="jitcache_command", required=True)
+    jc_stats = jc_sub.add_parser(
+        "stats", help="entry/byte totals and per-kernel plan counts"
+    )
+    jc_stats.add_argument(
+        "path", help="cache directory (run --jit-cache / serve --warm-cache)"
+    )
+    jc_stats.set_defaults(func=_cmd_jitcache)
+    jc_clear = jc_sub.add_parser(
+        "clear", help="delete every persisted plan in the cache"
+    )
+    jc_clear.add_argument("path", help="cache directory")
+    jc_clear.set_defaults(func=_cmd_jitcache)
 
     p_cmp = sub.add_parser("compare", help="diff two datasets (max/RMS/PSNR)")
     p_cmp.add_argument("dataset_a")
@@ -1068,6 +1183,13 @@ def main(argv: list[str] | None = None) -> int:
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"grayscott: {exc}", file=sys.stderr)
         return 1
+    finally:
+        # Drop any process-global jit-cache configuration the command
+        # made, so repeated main() calls in one process (tests) don't
+        # bleed cache state into each other.
+        jitcache = sys.modules.get("repro.gpu.jitcache")
+        if jitcache is not None:
+            jitcache.deconfigure()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.observe import trace as observe
 from repro.util.errors import GpuError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -556,6 +557,45 @@ def trace_kernel(kernel: "Kernel", args) -> KernelTrace:
 # ---------------------------------------------------------------------------
 
 
+def kernel_fingerprint(kernel: "Kernel") -> str | None:
+    """A content hash of the kernel: stable across processes and runs.
+
+    The fingerprint digests the kernel's name, codegen-relevant flags,
+    and the *source text* of its scalar body — the same identity a real
+    JIT's method cache keys on. Editing the kernel body changes the
+    fingerprint, which is what invalidates persisted compilation plans
+    (:mod:`repro.gpu.jitcache`). Returns None when the body's source is
+    unavailable (lambdas defined in a REPL, exec'd code); callers then
+    fall back to the process-local ``id()`` spelling, which memoizes
+    fine but can never be persisted.
+
+    The result is memoized on the kernel instance: tracing-hot paths
+    call this once per launch.
+    """
+    cached = getattr(kernel, "_fingerprint", None)
+    if cached is not None:
+        return cached or None  # "" caches a failed source lookup
+    import hashlib
+    import inspect
+
+    try:
+        source = inspect.getsource(kernel.body)
+    except (OSError, TypeError):
+        kernel._fingerprint = ""
+        return None
+    digest = hashlib.sha256()
+    for part in (
+        kernel.name,
+        str(bool(kernel.uses_rand)),
+        str(int(getattr(kernel, "flops_per_workitem", 0) or 0)),
+        source,
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    kernel._fingerprint = digest.hexdigest()
+    return kernel._fingerprint
+
+
 class TraceMemo:
     """Launch-trace memo: repeated launches skip re-tracing entirely.
 
@@ -570,6 +610,27 @@ class TraceMemo:
     first-launch-vs-optimized JIT split: the trace is computed once per
     (kernel, dtype, shape-class, config) and replayed thereafter.
 
+    Kernel identity is the :func:`kernel_fingerprint` content hash, so
+    the same kernel source spells the same key in every process — a
+    spawn-context worker or a restarted service computes byte-identical
+    keys and can be answered from a persisted plan (the old
+    ``id(kernel)`` spelling silently re-traced in every new process).
+
+    Execution is tiered (the pkgimage arc the paper's Fig. 7 motivates):
+
+    1. **interpret** — an unkeyable launch bypasses memoization and
+       traces fresh every time (the retained slow path);
+    2. **trace** — a keyed miss traces once, then promotes the plan
+       into the in-memory memo *and* the attached disk cache;
+    3. **memo** — an in-memory hit replays the plan in O(1);
+    4. **disk** — a persisted plan from :class:`repro.gpu.jitcache.
+       JitDiskCache` (attached via ``memo.disk``) answers a cold
+       process's first launch and is promoted into the memo.
+
+    Per-tier promotion counters are kept on the memo and mirrored into
+    the active :mod:`repro.observe` metrics registry as
+    ``gpu.jit.tier`` counters.
+
     :func:`trace_kernel` remains the retained slow path; the
     differential property tests assert that a memo hit returns a trace
     bit-identical to a freshly computed one.
@@ -577,23 +638,33 @@ class TraceMemo:
 
     def __init__(self, maxsize: int = 256):
         self.maxsize = int(maxsize)
-        # key -> (kernel, trace); the kernel reference keeps id(kernel)
-        # stable for as long as its entries are alive
+        # key -> (kernel, trace); the kernel reference keeps the entry's
+        # kernel alive (it may be None for plans preloaded from disk)
         self._entries: OrderedDict[tuple, tuple] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
+        self.disk_hits = 0
+        #: optional persistent tier — anything with ``lookup(key)`` /
+        #: ``store(key, kernel, trace)``, in practice a
+        #: :class:`repro.gpu.jitcache.JitDiskCache`
+        self.disk = None
 
     @staticmethod
     def signature(kernel: "Kernel", args, config=None) -> tuple | None:
-        """The (kernel id, dtype, shape-class, launch config) memo key.
+        """The (kernel, dtype, shape-class, launch config) memo key.
 
         Returns None when any argument cannot be keyed (unhashable);
         callers then fall back to the unmemoized slow path.
         """
         from repro.gpu.memory import DeviceArray
 
-        parts: list = [(id(kernel), kernel.name)]
+        fingerprint = kernel_fingerprint(kernel)
+        if fingerprint is not None:
+            parts: list = [("kernel", kernel.name, fingerprint)]
+        else:
+            # no source to hash: key on object identity, process-local
+            parts = [("kernel_local", id(kernel), kernel.name)]
         for position, arg in enumerate(args):
             data = arg.data if isinstance(arg, DeviceArray) else arg
             if isinstance(data, np.ndarray) and data.ndim >= 1:
@@ -615,25 +686,65 @@ class TraceMemo:
         return key
 
     def trace(self, kernel: "Kernel", args, config=None) -> KernelTrace:
-        """Memoized :func:`trace_kernel` (the launch fast path)."""
+        """Memoized :func:`trace_kernel` (the launch fast path).
+
+        Walks the tiers in cost order: memo hit, persisted plan, fresh
+        trace (with promotion into both caches), or — for unkeyable
+        launches — the plain interpreter-style bypass.
+        """
         key = self.signature(kernel, args, config)
         if key is None:
             self.bypasses += 1
+            self._count_tier("interpret")
             return trace_kernel(kernel, args)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
             self._entries.move_to_end(key)
+            self._count_tier("memo")
+            if self.disk is not None:
+                # backfill: a memo warm before the disk tier was
+                # configured still populates the cache directory
+                self.disk.ensure(key, entry[0], entry[1])
             return entry[1]
+        if self.disk is not None:
+            trace = self.disk.lookup(key)
+            if trace is not None:
+                self.disk_hits += 1
+                self._count_tier("disk")
+                self._insert(key, kernel, trace)
+                return trace
         self.misses += 1
+        self._count_tier("trace")
         trace = trace_kernel(kernel, args)
+        self._insert(key, kernel, trace)
+        if self.disk is not None:
+            self.disk.store(key, kernel, trace)
+        return trace
+
+    def _insert(self, key: tuple, kernel, trace: KernelTrace) -> None:
         self._entries[key] = (kernel, trace)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-        return trace
+
+    @staticmethod
+    def _count_tier(tier: str) -> None:
+        tracer = observe.active()
+        if tracer is not None:
+            tracer.metrics.counter("gpu.jit.tier", tier=tier).inc()
 
     def clear(self) -> None:
         self._entries.clear()
+
+    @property
+    def tiers(self) -> dict:
+        """Per-tier answer counts (interpret/trace/memo/disk)."""
+        return {
+            "interpret": self.bypasses,
+            "trace": self.misses,
+            "memo": self.hits,
+            "disk": self.disk_hits,
+        }
 
     @property
     def stats(self) -> dict:
@@ -641,6 +752,7 @@ class TraceMemo:
             "hits": self.hits,
             "misses": self.misses,
             "bypasses": self.bypasses,
+            "disk_hits": self.disk_hits,
             "entries": len(self._entries),
         }
 

@@ -59,12 +59,19 @@ def default_chunksize(ntasks: int, jobs: int) -> int:
     return max(1, -(-ntasks // (jobs * 4)))
 
 
-def _worker_main(worker_id, fn, task_q, result_q, capture):
+def _worker_main(worker_id, fn, task_q, result_q, capture, jit_cache=None):
     # A forked worker inherits the parent's installed tracer object;
     # recording into that copy would be silently discarded. Detach it
     # and (when the parent is tracing) install a private one whose
     # capture ships back with the results.
     observe.deactivate()
+    if jit_cache is not None:
+        # Warm-start the tracing JIT from the parent's persistent cache.
+        # The path is passed explicitly because a spawn-context worker
+        # does not inherit the parent's configured module globals.
+        from repro.gpu import jitcache
+
+        jitcache.warm_start(jit_cache)
     tracer = None
     if capture:
         tracer = observe.activate(observe.Tracer())
@@ -130,6 +137,9 @@ def run_tasks(
 
 
 def _run_pool(fn, task_list, jobs, chunksize, context, tracer):
+    from repro.gpu import jitcache
+
+    jit_cache = jitcache.configured_path()
     if context is None:
         methods = multiprocessing.get_all_start_methods()
         context = "fork" if "fork" in methods else methods[0]
@@ -145,7 +155,7 @@ def _run_pool(fn, task_list, jobs, chunksize, context, tracer):
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(w, fn, task_q, result_q, tracer is not None),
+            args=(w, fn, task_q, result_q, tracer is not None, jit_cache),
             daemon=True,
         )
         for w in range(jobs)

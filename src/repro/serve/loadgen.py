@@ -274,6 +274,7 @@ def run_load(
     seed: int = 20230707,
     workdir=None,
     stream: str | None = None,
+    jit_cache: str | None = None,
 ) -> tuple[LoadReport, dict]:
     """Full synchronous load run: service up, drive, service down.
 
@@ -296,6 +297,7 @@ def run_load(
             max_pending=max_pending,
             workdir=workdir,
             stream=stream,
+            jit_cache=jit_cache,
         ) as service:
             report = await drive_load(
                 service,

@@ -29,12 +29,21 @@ from repro.par import shm
 from repro.util.errors import ServeError
 
 
-def _pool_worker(worker_id: int, fn: Callable, task_q, result_q) -> None:
+def _pool_worker(
+    worker_id: int, fn: Callable, task_q, result_q, jit_cache=None
+) -> None:
     # Detach any tracer a forked worker inherited: recording into the
     # parent's copy would be silently discarded (see repro.par.pool).
     from repro.observe import trace as observe
 
     observe.deactivate()
+    if jit_cache is not None:
+        # Warm-start the tracing JIT so the worker's first request hits
+        # persisted plans instead of paying full cold-trace cost (the
+        # service's warm-start story; see docs/PERFORMANCE.md).
+        from repro.gpu import jitcache
+
+        jitcache.warm_start(jit_cache)
     while True:
         item = task_q.get()
         if item is None:
@@ -61,20 +70,26 @@ class WorkerPool:
         *,
         workers: int = 2,
         context: str | None = None,
+        jit_cache: str | None = None,
     ):
         if workers < 1:
             raise ServeError(f"worker pool needs >= 1 worker, got {workers}")
         if context is None:
             methods = multiprocessing.get_all_start_methods()
             context = "fork" if "fork" in methods else methods[0]
+        if jit_cache is None:
+            from repro.gpu import jitcache
+
+            jit_cache = jitcache.configured_path()
         ctx = multiprocessing.get_context(context)
         self.workers = workers
+        self.jit_cache = jit_cache
         self._task_q = ctx.Queue()
         self._result_q = ctx.Queue()
         self._procs = [
             ctx.Process(
                 target=_pool_worker,
-                args=(w, fn, self._task_q, self._result_q),
+                args=(w, fn, self._task_q, self._result_q, jit_cache),
                 daemon=True,
             )
             for w in range(workers)

@@ -176,6 +176,7 @@ class SimService:
         workdir=None,
         stream: str | None = None,
         stream_queue_limit: int = 8,
+        jit_cache: str | None = None,
     ):
         if backend not in ("process", "thread", "inline"):
             raise ServeError(
@@ -189,6 +190,7 @@ class SimService:
         self.workers = workers
         self.max_pending = max_pending
         self.workdir = workdir
+        self.jit_cache = jit_cache
         self.store = ResultStore(cache_capacity)
         self.stats_counters = ServiceStats()
         self.stream = stream
@@ -214,10 +216,20 @@ class SimService:
             raise ServeError("service already started")
         self._started = True
         self._queue = asyncio.Queue(maxsize=self.max_pending)
+        if self.jit_cache is not None and self.backend != "process":
+            # thread/inline backends share this process's TraceMemo, so
+            # warm it here; process workers warm themselves on spawn.
+            from repro.gpu import jitcache
+
+            jitcache.warm_start(self.jit_cache)
         if self.backend == "process":
             from repro.serve.pool import WorkerPool
 
-            self._pool = WorkerPool(execute_and_render, workers=self.workers)
+            self._pool = WorkerPool(
+                execute_and_render,
+                workers=self.workers,
+                jit_cache=self.jit_cache,
+            )
         elif self.backend == "thread":
             from concurrent.futures import ThreadPoolExecutor
 

@@ -26,6 +26,7 @@ from repro.util.units import (
 from repro.util.rngs import RngStream, seed_for
 from repro.util.timers import WallTimer, SimClock, Stopwatch
 from repro.util.tables import Table
+from repro.util.files import atomic_write_bytes, atomic_write_text
 
 __all__ = [
     "ReproError",
@@ -49,4 +50,6 @@ __all__ = [
     "SimClock",
     "Stopwatch",
     "Table",
+    "atomic_write_bytes",
+    "atomic_write_text",
 ]

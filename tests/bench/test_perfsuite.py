@@ -24,7 +24,7 @@ from repro.bench.perfsuite import (
 CASE_NAMES = {
     "cache_sweep", "jit_trace_memo", "pack_unpack",
     "io_bp5", "par_speedup", "sched_engine", "trace_streaming",
-    "ir_passes", "serve_load",
+    "ir_passes", "serve_load", "jit_warm",
 }
 
 
@@ -111,6 +111,22 @@ class TestSchema:
         assert m["hit_miss_p99_ratio"] <= HIT_MISS_P99_LIMIT
         assert m["hit_miss_p99_limit"] == HIT_MISS_P99_LIMIT
 
+    def test_jit_warm_case_reports_warm_start_contract(self, payload):
+        from repro.bench.perfsuite import WARM_COLD_LIMIT
+
+        (case,) = [c for c in payload["cases"] if c["name"] == "jit_warm"]
+        m = case["metrics"]
+        assert m["shape_classes"] > 0
+        # every persisted plan made it back into the warm memo
+        assert m["preloaded"] == m["shape_classes"]
+        assert m["warm_memo_hits"] > 0
+        assert m["warm_p50_seconds"] < m["cold_p50_seconds"]
+        # the warm-start contract: first launches >= 5x faster
+        assert m["warm_cold_ratio"] <= WARM_COLD_LIMIT
+        assert m["warm_cold_limit"] == WARM_COLD_LIMIT
+        # persisted plans are byte-for-byte what a fresh trace produces
+        assert case["identical"] is True
+
     def test_payload_is_json_serializable(self, payload, tmp_path):
         path = tmp_path / "BENCH_selfperf.json"
         path.write_text(json.dumps(payload, indent=2))
@@ -192,6 +208,16 @@ class TestGate:
         assert any("cache-hit p99" in f for f in failures)
         # absolute limit: survives the baseline derate, names the 10x bar
         assert any("10x faster" in f for f in failures)
+
+    def test_warm_cold_ratio_gated_absolutely(self, payload):
+        doctored = copy.deepcopy(payload)
+        for case in doctored["cases"]:
+            if case["name"] == "jit_warm":
+                case["metrics"]["warm_cold_ratio"] = 0.9
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert any("warm first-launch" in f for f in failures)
+        # absolute limit: survives the baseline derate, names the 5x bar
+        assert any("5x faster" in f for f in failures)
 
     def test_rejects_wrong_schema(self, payload):
         doctored = copy.deepcopy(payload)

@@ -1,0 +1,113 @@
+"""Property-based tests of the persistent JIT cache.
+
+The two invariants the tiered path rests on:
+
+- a plan that round-trips through the on-disk cache is byte-for-byte
+  the trace a fresh ``trace_kernel`` produces, over arbitrary shapes
+  and Gray-Scott parameters;
+- the canonical key text is a lossless spelling of the memo key, so
+  the same launch hashes to the same entry in every process.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import GrayScottParams
+from repro.core.stencil import kernel_args, make_gray_scott_kernel
+from repro.gpu import jitcache
+from repro.gpu.jit import TraceMemo, trace_kernel
+from repro.gpu.jitcache import (
+    JitDiskCache,
+    canonical_key,
+    freeze_key,
+    serialize_trace,
+)
+
+edges = st.integers(6, 14)
+params = st.builds(
+    GrayScottParams,
+    Du=st.floats(0.05, 0.5, allow_nan=False),
+    Dv=st.floats(0.02, 0.3, allow_nan=False),
+    F=st.floats(0.005, 0.08, allow_nan=False),
+    k=st.floats(0.03, 0.07, allow_nan=False),
+)
+
+
+def _launch(edge, p, seed):
+    shape = (edge, edge, edge)
+    rng = np.random.default_rng(seed)
+    u = np.asfortranarray(rng.random(shape))
+    v = np.asfortranarray(rng.random(shape))
+    un = np.zeros(shape, order="F")
+    vn = np.zeros(shape, order="F")
+    kernel = make_gray_scott_kernel()
+    return kernel, kernel_args(u, v, un, vn, p, seed=seed, step=0)
+
+
+class TestPersistedPlanProperties:
+    @given(edges, params, st.integers(0, 2**31 - 1))
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_disk_round_trip_is_bit_identical(self, tmp_path, edge, p, seed):
+        """Persist, reload in a cold cache: bytes match a fresh trace."""
+        kernel, args = _launch(edge, p, seed)
+        key = TraceMemo.signature(kernel, args)
+        cache = JitDiskCache(tmp_path / "cache")
+        cache.store(key, kernel, trace_kernel(kernel, args))
+
+        loaded = JitDiskCache(tmp_path / "cache").lookup(key)
+        assert loaded is not None
+        assert serialize_trace(loaded) == serialize_trace(
+            trace_kernel(kernel, args)
+        )
+
+    @given(edges, params, st.integers(0, 2**31 - 1))
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_warm_start_first_launch_matches_cold(self, tmp_path, edge, p,
+                                                  seed):
+        """A warm-started memo's first answer equals the cold trace."""
+        kernel, args = _launch(edge, p, seed)
+        seeder = TraceMemo()
+        jitcache.configure(tmp_path / "cache", memo=seeder)
+        cold_bytes = serialize_trace(seeder.trace(kernel, args))
+        jitcache.deconfigure(memo=seeder)
+
+        warm = TraceMemo()
+        jitcache.warm_start(tmp_path / "cache", memo=warm)
+        assert serialize_trace(warm.trace(kernel, args)) == cold_bytes
+        assert warm.tiers["memo"] == 1
+        assert warm.tiers["trace"] == 0
+        jitcache.deconfigure(memo=warm)
+
+
+class TestKeyCanonicalizationProperties:
+    @given(edges, params, st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_key_is_lossless(self, edge, p, seed):
+        """freeze_key(json.loads(canonical_key(key))) == key."""
+        kernel, args = _launch(edge, p, seed)
+        key = TraceMemo.signature(kernel, args)
+        assert freeze_key(json.loads(canonical_key(key))) == key
+
+    @given(edges, params)
+    @settings(max_examples=25, deadline=None)
+    def test_key_depends_on_shape_not_values(self, edge, p):
+        """Two launches differing only in array *values* share a key."""
+        kernel_a, args_a = _launch(edge, p, seed=1)
+        kernel_b, args_b = _launch(edge, p, seed=2)
+        key_a = TraceMemo.signature(kernel_a, args_a)
+        key_b = TraceMemo.signature(kernel_b, args_b)
+        # arrays key on (dtype, shape); scalars key on their value, and
+        # the rng seed is a scalar arg — mask it by comparing array parts
+        array_parts_a = [part for part in key_a if part[0] == "array"]
+        array_parts_b = [part for part in key_b if part[0] == "array"]
+        assert array_parts_a == array_parts_b
+        assert key_a[0] == key_b[0]

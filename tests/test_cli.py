@@ -559,3 +559,87 @@ class TestCliServe:
         out = capsys.readouterr().out
         assert "service cache:" in out
         assert "requests" in out
+
+
+class TestCliJitCache:
+    """run --jit-cache / serve --warm-cache / the jit-cache subcommand."""
+
+    @pytest.fixture
+    def gpu_settings_file(self, tmp_path):
+        path = tmp_path / "gpu.json"
+        GrayScottSettings(
+            L=12, steps=6, plotgap=3, noise=0.05,
+            output=str(tmp_path / "gpu.bp"), backend="julia",
+        ).save(path)
+        return path
+
+    def test_cold_run_populates_warm_run_preloads(
+        self, gpu_settings_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        assert main([
+            "run", str(gpu_settings_file), "--jit-cache", str(cache),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jit cache: 0 plan(s) preloaded" in out
+        assert len(list(cache.glob("*.trace"))) == 1
+
+        assert main([
+            "run", str(gpu_settings_file), "--jit-cache", str(cache),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jit cache: 1 plan(s) preloaded" in out
+
+    def test_bad_cache_path_is_usage_error(self, settings_file, tmp_path,
+                                           capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        assert main([
+            "run", str(settings_file), "--jit-cache", str(blocker),
+        ]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_stats_reports_per_kernel_plans(self, gpu_settings_file,
+                                            tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["run", str(gpu_settings_file), "--jit-cache", str(cache)])
+        capsys.readouterr()
+        assert main(["jit-cache", "stats", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.gpu.jitcache/1" in out
+        assert "plans: _kernel_gray_scott" in out
+
+    def test_clear_removes_entries(self, gpu_settings_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["run", str(gpu_settings_file), "--jit-cache", str(cache)])
+        capsys.readouterr()
+        assert main(["jit-cache", "clear", str(cache)]) == 0
+        assert "1 entry(ies) removed" in capsys.readouterr().out
+        assert list(cache.glob("*.trace")) == []
+
+    def test_stats_missing_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["jit-cache", "stats", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_clear_missing_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["jit-cache", "clear", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_smoke_with_warm_cache(self, settings_file, tmp_path,
+                                         capsys):
+        cache = tmp_path / "cache"
+        assert main([
+            "serve", str(settings_file), "--smoke", "--backend", "inline",
+            "--workdir", str(tmp_path / "jobs"), "--warm-cache", str(cache),
+        ]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_serve_bad_warm_cache_is_usage_error(self, settings_file,
+                                                 tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        assert main([
+            "serve", str(settings_file), "--smoke",
+            "--warm-cache", str(blocker),
+        ]) == 2
+        assert "not a directory" in capsys.readouterr().err
