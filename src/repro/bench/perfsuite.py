@@ -21,6 +21,13 @@ bit-identity where a reference exists:
 - ``sched_engine`` — a virtual-SPMD overlap run; no slow engine is
   retained, so the case reports absolute throughput plus a
   machine-normalized event rate for the regression gate;
+- ``vspmd`` — the vector epoch-queue tier of
+  :class:`repro.core.virtual.VirtualWorkflow` vs. the retained scalar
+  event-heap tier on the same overlap run (identical reductions,
+  barrier recurrence, and per-rank finish times), gated against the
+  *absolute* ``min_rate_speedup`` (5.0x): the NumPy epoch engine must
+  stay at least 5x above the scalar reference's event rate — the
+  million-rank contract, not a host-relative floor;
 - ``trace_streaming`` — the bounded-memory streaming sink
   (:mod:`repro.observe.stream`): raw spans/sec through a
   ``ShardedPerfettoWriter`` (machine-normalized for the rate gate),
@@ -394,6 +401,63 @@ def _case_sched_engine(quick: bool, loop_score: float) -> CaseResult:
     )
 
 
+#: absolute floor on the vspmd vector-vs-scalar event-rate speedup
+#: (the epoch-queue tier must process events >= 5x faster than the
+#: retained scalar heap) enforced by :func:`check_regressions`
+MIN_RATE_SPEEDUP = 5.0
+
+
+def _case_vspmd(quick: bool, loop_score: float) -> CaseResult:
+    from repro.core.settings import GrayScottSettings
+    from repro.core.virtual import VirtualWorkflow
+
+    nranks = 2048 if quick else 16384
+    settings = GrayScottSettings(
+        L=64, steps=10 if quick else 20, plotgap=5 if quick else 10,
+        backend="julia",
+    )
+
+    def run(engine: str):
+        t0 = time.perf_counter()
+        result = VirtualWorkflow(
+            settings, nranks=nranks, overlap=True, engine=engine,
+        ).run()
+        return result, time.perf_counter() - t0
+
+    vec, opt_s = run("vector")
+    ref, ref_s = run("scalar")
+
+    # the tier contract: identical reductions, barrier recurrence, and
+    # per-rank finish times — events_processed legitimately differs
+    # (the vector tier retires whole epochs per rank, the scalar heap
+    # one delay at a time)
+    identical = (
+        vec.elapsed_seconds == ref.elapsed_seconds
+        and np.array_equal(vec.rank_finish_seconds, ref.rank_finish_seconds)
+        and vec.results == ref.results
+        and vec.collectives_per_rank == ref.collectives_per_rank
+    )
+    vec_rate = vec.events_processed / opt_s
+    ref_rate = ref.events_processed / ref_s
+    return CaseResult(
+        name="vspmd",
+        optimized_seconds=opt_s,
+        reference_seconds=ref_s,
+        identical=identical,
+        metrics={
+            "virtual_ranks": nranks,
+            "events": vec.events_processed,
+            "reference_events": ref.events_processed,
+            "events_per_second": vec_rate,
+            # dimensionless: engine events per plain-Python loop
+            # iteration — comparable across differently-clocked hosts
+            "normalized_rate": vec_rate / (loop_score * 1e6),
+            "rate_speedup": vec_rate / ref_rate,
+            "min_rate_speedup": MIN_RATE_SPEEDUP,
+        },
+    )
+
+
 #: absolute ceiling on streaming-tracing overhead (traced / untraced
 #: wall time of the smoke workflow) enforced by :func:`check_regressions`
 OVERHEAD_LIMIT = 1.10
@@ -685,6 +749,7 @@ def run_suite(*, quick: bool = False) -> SuiteResult:
         _case_io_bp5(quick),
         _case_par_speedup(quick),
         _case_sched_engine(quick, loop_score),
+        _case_vspmd(quick, loop_score),
         _case_trace_streaming(quick, loop_score),
         _case_ir_passes(quick),
         _case_serve_load(quick, loop_score),
@@ -800,6 +865,21 @@ def check_regressions(
                     f"below {floor:.4f} (baseline {base_rate:.4f} - "
                     f"{tolerance:.0%})"
                 )
+        # absolute floor on the vector-tier event-rate speedup (no
+        # derate, no tolerance): "the epoch engine is >= 5x the scalar
+        # heap" is the million-rank contract, not a host-relative floor
+        rate_floor = base.get("metrics", {}).get("min_rate_speedup")
+        cur_rate_speedup = cur.get("metrics", {}).get("rate_speedup")
+        if (
+            rate_floor
+            and cur_rate_speedup is not None
+            and cur_rate_speedup < rate_floor
+        ):
+            failures.append(
+                f"{name}: vector-tier event rate is only "
+                f"{cur_rate_speedup:.2f}x the scalar reference, below "
+                f"the absolute {rate_floor:.1f}x floor"
+            )
         # absolute overhead ceilings (no derate, no tolerance): the
         # limit is a contract — "streaming tracing costs <= 10%" —
         # not a host-relative floor

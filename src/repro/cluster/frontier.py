@@ -147,3 +147,18 @@ class MachineSpec:
 
 #: The machine used throughout the paper's evaluation.
 FRONTIER = MachineSpec()
+
+
+def extrapolated_machine(base: MachineSpec = FRONTIER, *, nodes: int) -> MachineSpec:
+    """A what-if machine: ``base`` scaled out to ``nodes`` nodes.
+
+    Per-node and per-link characteristics are unchanged — only the node
+    count (and the name, so reports show the extrapolation) grows. Used
+    by million-rank virtual runs that model a rank space larger than
+    the real machine (Frontier tops out at 9,408 x 8 = 75,264 GCDs).
+    """
+    if nodes <= base.nodes:
+        return base
+    from dataclasses import replace
+
+    return replace(base, name=f"{base.name}x{nodes}", nodes=nodes)

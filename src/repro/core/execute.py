@@ -149,11 +149,14 @@ def execute_job(
     tracer=None,
     profiler=None,
     gpu_profiler=None,
+    engine: str = "auto",
 ) -> RunResult:
     """Execute one :class:`JobSpec`; returns the unified result.
 
     ``jobs`` shards virtual-mode ranks over worker processes (results
-    are jobs-invariant, so it is *not* part of the canonical key).
+    are jobs-invariant, so it is *not* part of the canonical key), and
+    ``engine`` picks the virtual execution tier (also jobs-invariant —
+    every tier is bit-identical; see docs/SCHEDULER.md).
     ``tracer``/``profiler`` feed virtual mode's engine; workflow mode
     picks up the ambient :func:`repro.observe.trace.active` tracer.
     ``gpu_profiler`` is attached to the simulated device of a workflow
@@ -164,14 +167,14 @@ def execute_job(
     with WallTimer() as timer:
         if spec.mode == "virtual":
             result = _execute_virtual(spec, jobs=jobs, tracer=tracer,
-                                      profiler=profiler)
+                                      profiler=profiler, engine=engine)
         else:
             result = _execute_workflow(spec, gpu_profiler=gpu_profiler)
     result.wall_seconds = timer.elapsed
     return result
 
 
-def _execute_virtual(spec: JobSpec, *, jobs, tracer, profiler) -> RunResult:
+def _execute_virtual(spec: JobSpec, *, jobs, tracer, profiler, engine) -> RunResult:
     from repro.core.virtual import VirtualWorkflow
 
     workflow = VirtualWorkflow(
@@ -181,6 +184,7 @@ def _execute_virtual(spec: JobSpec, *, jobs, tracer, profiler) -> RunResult:
         nic_contention=spec.nic_contention,
         tracer=tracer,
         profiler=profiler,
+        engine=engine,
     )
     return RunResult(spec=spec, virtual=workflow.run(jobs=jobs))
 

@@ -76,6 +76,9 @@ class VirtualWorkflow:
     (16, 2)
     """
 
+    #: execution tiers of :meth:`run`; see docs/SCHEDULER.md
+    ENGINES = ("auto", "scalar", "batch", "vector")
+
     def __init__(
         self,
         settings: GrayScottSettings,
@@ -86,7 +89,9 @@ class VirtualWorkflow:
         machine: MachineSpec = FRONTIER,
         tracer=None,
         profiler=None,
+        engine: str = "auto",
     ):
+        from repro.cluster.frontier import extrapolated_machine
         from repro.cluster.placement import Placement
         from repro.mpi.cart import dims_create
 
@@ -104,6 +109,29 @@ class VirtualWorkflow:
         #: resource: the node's 8 ranks queue on 4 NICs instead of each
         #: owning a private link (opt-in; changes modeled times)
         self.nic_contention = nic_contention
+        if engine not in self.ENGINES:
+            raise ConfigError(
+                f"unknown virtual engine {engine!r}; use one of {self.ENGINES}"
+            )
+        if engine == "vector" and nic_contention:
+            raise ConfigError(
+                "engine='vector' models ranks independently between "
+                "barriers; nic_contention couples them within a step — "
+                "use engine='batch' (or 'auto')"
+            )
+        if engine == "vector" and profiler is not None:
+            raise ConfigError(
+                "engine='vector' has no per-rank process table for the "
+                "profiler to sample; use engine='batch' (or 'auto')"
+            )
+        #: requested execution tier (see :meth:`_resolve_engine`)
+        self.engine = engine
+        #: beyond the real machine, extrapolate: a 1,048,576-rank run
+        #: models a Frontier-like machine with enough nodes (per-node
+        #: characteristics unchanged)
+        nodes_needed = machine.nodes_for_ranks(self.nranks)
+        if nodes_needed > machine.nodes:
+            machine = extrapolated_machine(machine, nodes=nodes_needed)
         self.machine = machine
         self.tracer = tracer
         #: a :class:`repro.sched.SimProfiler` sampling the rank states
@@ -140,9 +168,7 @@ class VirtualWorkflow:
             periodic=self.settings.boundary == "periodic",
             machine=self.machine,
         )
-        return np.array(
-            [halo.rank_step_seconds(r).total_seconds for r in range(lo, hi)]
-        )
+        return halo.slice_step_seconds(lo, hi)
 
     def _bytes_per_node(self) -> int:
         itemsize = 8 if self.settings.precision == "float64" else 4
@@ -151,6 +177,20 @@ class VirtualWorkflow:
         return 2 * cells * itemsize * ranks_on_full_node
 
     # -- the run ------------------------------------------------------------
+    def _resolve_engine(self) -> str:
+        """Pick the execution tier for this run (docs/SCHEDULER.md).
+
+        ``auto`` takes the vector tier — bit-identical and fastest —
+        unless a feature needs real engine processes: ``nic_contention``
+        couples ranks within a step, and the profiler samples the
+        process table; both fall back to the batch-pop generator engine.
+        """
+        if self.engine != "auto":
+            return self.engine
+        if self.nic_contention or self.profiler is not None:
+            return "batch"
+        return "vector"
+
     def run(self, *, jobs: int = 1) -> VirtualRunResult:
         """Run the virtual workflow; ``jobs > 1`` shards ranks over workers.
 
@@ -161,16 +201,24 @@ class VirtualWorkflow:
         barrier times — ranks only couple at output-step barriers and
         the final allreduce, so the result is bit-identical to the
         serial run. ``nic_contention`` couples ranks within every step,
-        so it falls back to the serial engine.
+        so it falls back to the serial engine. The default ``auto``
+        tier runs the epochs through the NumPy vector engine
+        (:mod:`repro.sched.vector`) instead of per-rank generators —
+        same floats, same spans, orders of magnitude fewer Python
+        events.
         """
         from repro.par import resolve_jobs
 
         jobs = resolve_jobs(jobs)
+        tier = self._resolve_engine()
+        if tier == "vector":
+            shards = self._shards(jobs) if jobs > 1 else [(0, self.nranks)]
+            return self._run_epochs(jobs, shards, vector=True)
         if jobs > 1 and not self.nic_contention and self.profiler is None:
             shards = self._shards(jobs)
             if len(shards) > 1:
-                return self._run_sharded(jobs, shards)
-        return self._run_serial()
+                return self._run_epochs(jobs, shards, vector=False, pop=tier)
+        return self._run_serial(pop=tier)
 
     def _shards(self, jobs: int) -> list[tuple[int, int]]:
         """Split ranks into <= ``jobs`` node-aligned ``(lo, hi)`` ranges.
@@ -180,11 +228,18 @@ class VirtualWorkflow:
         without cross-shard traffic.
         """
         # node boundaries: ranks are placed on nodes in contiguous runs
-        bounds = [0]
-        for r in range(1, self.nranks):
-            if self.placement.location(r).node != self.placement.location(r - 1).node:
-                bounds.append(r)
-        bounds.append(self.nranks)
+        if self.placement.strategy == "block":
+            bounds = list(range(0, self.nranks, self.placement.ranks_per_node))
+            bounds.append(self.nranks)
+        else:
+            bounds = [0]
+            for r in range(1, self.nranks):
+                if (
+                    self.placement.location(r).node
+                    != self.placement.location(r - 1).node
+                ):
+                    bounds.append(r)
+            bounds.append(self.nranks)
         nnodes = len(bounds) - 1
         nshards = min(jobs, nnodes)
         shards = []
@@ -196,7 +251,7 @@ class VirtualWorkflow:
             node += take
         return shards
 
-    def _run_serial(self) -> VirtualRunResult:
+    def _run_serial(self, *, pop: str = "batch") -> VirtualRunResult:
         from repro.adios.fsmodel import LustreModel
         from repro.gpu.proxy import (
             VirtualGcd,
@@ -210,7 +265,7 @@ class VirtualWorkflow:
         nranks, nnodes = self.nranks, self.placement.nnodes
         engine = Engine(
             name=f"virtual[{nranks}]", tracer=self.tracer,
-            profiler=self.profiler,
+            profiler=self.profiler, pop=pop,
         )
         jitter = self._kernel_jitter()
         comm = self._comm_seconds()
@@ -321,11 +376,16 @@ class VirtualWorkflow:
             results=spmd.results,
         )
 
-    # -- sharded execution --------------------------------------------------
-    def _run_sharded(
-        self, jobs: int, shards: list[tuple[int, int]]
+    # -- epoch execution (vector tier and sharded generator tier) -----------
+    def _run_epochs(
+        self,
+        jobs: int,
+        shards: list[tuple[int, int]],
+        *,
+        vector: bool,
+        pop: str = "batch",
     ) -> VirtualRunResult:
-        """Epoch-synchronized process-parallel virtual run.
+        """Epoch-synchronized virtual run (sharded and/or vectorized).
 
         Ranks couple only at output-step barriers and the final
         allreduce, and the shared OSS resource (capacity == nnodes,
@@ -339,20 +399,30 @@ class VirtualWorkflow:
         serial ``Join`` semantics). Worker SIM-clock spans merge
         verbatim into the parent tracer, so the Perfetto timeline is
         span-identical to the serial run.
+
+        ``vector=True`` advances each epoch with the NumPy engine
+        (:func:`repro.sched.vector.simulate_epoch`) instead of per-rank
+        generators; with ``jobs <= 1`` (or a single shard) the epochs
+        run inline in this process, otherwise each shard ships to a
+        :mod:`repro.par` pool worker exactly like the generator tier.
         """
         from repro import observe
         from repro.gpu.proxy import grayscott_launch_cost, jit_compile_seconds
         from repro.observe.stream import stream_sink, worker_shard_spec
         from repro.par import run_tasks, tracemerge
+        from repro.sched import replay_allreduce
 
         settings = self.settings
         nranks, nnodes = self.nranks, self.placement.nnodes
         tracer = self.tracer if self.tracer is not None else observe.active()
         trace = tracer is not None
+        #: vector epochs run inline (no pool) for a single job/shard —
+        #: spans go straight into the parent tracer
+        inline = vector and (jobs <= 1 or len(shards) <= 1)
         # streaming mode: workers write their own shard files into the
         # parent stream's directory and ship back manifest entries only;
         # the span lists never cross the pickle boundary
-        sink = stream_sink(tracer) if trace else None
+        sink = stream_sink(tracer) if trace and not inline else None
         jitter = self._kernel_jitter()
         scale_full = 1.0 + jitter
         plotgap = settings.plotgap
@@ -378,9 +448,15 @@ class VirtualWorkflow:
             "final": True,
         })
 
-        leaders = {
-            self.placement.location(r).node: r for r in range(nranks - 1, -1, -1)
-        }
+        if self.placement.strategy == "block":
+            # the leader of a node is its lowest rank (node * rpn)
+            rpn = self.placement.ranks_per_node
+            leaders = {node: node * rpn for node in range(nnodes)}
+        else:
+            leaders = {
+                self.placement.location(r).node: r
+                for r in range(nranks - 1, -1, -1)
+            }
         starts = np.zeros(nranks)
         arrivals = np.empty(nranks)
         write_ends: dict[int, float] = {}
@@ -395,6 +471,8 @@ class VirtualWorkflow:
                     "overlap": self.overlap,
                     "machine": self.machine,
                     "trace": trace,
+                    "vector": vector,
+                    "pop": pop,
                     "stream": (
                         worker_shard_spec(sink, f"w{seg_idx:03d}.{s:02d}")
                         if sink is not None else None
@@ -406,7 +484,15 @@ class VirtualWorkflow:
                     "comm": comm_slices[s],
                     "seg": seg,
                 })
-            outs = run_tasks(_virtual_segment_task, tasks, jobs=jobs, chunksize=1)
+            if inline:
+                outs = [
+                    self._vector_segment(task, tracer=tracer)
+                    for task in tasks
+                ]
+            else:
+                outs = run_tasks(
+                    _virtual_segment_task, tasks, jobs=jobs, chunksize=1
+                )
             for s, ((lo, hi), out) in enumerate(zip(shards, outs)):
                 arrivals[lo:hi] = out["arrivals"]
                 write_ends.update(out["write_ends"])
@@ -434,11 +520,15 @@ class VirtualWorkflow:
         elapsed = float(arrivals.max())
         comm = np.concatenate(comm_slices)
         launch_cost = grayscott_launch_cost(self.local_shape, settings.backend)
-        checksum = sum(float(v) for v in scale_full)
+        checksum = replay_allreduce(scale_full, "sum")
         if trace:
             tracer.metrics.gauge(
                 "sched.events_processed", engine=f"virtual[{nranks}]"
             ).set(total_events)
+            if vector:
+                tracer.metrics.counter(
+                    "sched.vector_events", engine=f"virtual[{nranks}]"
+                ).inc(total_events)
         return VirtualRunResult(
             nranks=nranks,
             nnodes=nnodes,
@@ -455,6 +545,121 @@ class VirtualWorkflow:
             collectives_per_rank=output_steps + 1,
             results=[checksum] * nranks,
         )
+
+    def _vector_segment(self, payload: dict, *, tracer=None) -> dict:
+        """Advance one epoch of one shard with the NumPy vector engine.
+
+        Same payload contract as :meth:`_simulate_segment`, same float
+        recurrences (see :mod:`repro.sched.vector`), none of the
+        per-rank generator machinery. With ``tracer`` (inline mode) the
+        epoch's spans go straight into the caller's tracer; in a pool
+        worker they stream to a worker shard sink or ship back as a
+        span list, exactly like the generator tier.
+        """
+        from repro.adios.fsmodel import LustreModel
+        from repro.gpu.backends import get_backend
+        from repro.gpu.proxy import grayscott_launch_cost, jit_compile_seconds
+        from repro.sched.vector import (
+            EpochEventQueue,
+            EpochSpec,
+            EpochWrites,
+            emit_epoch_spans,
+            simulate_epoch,
+        )
+
+        settings = self.settings
+        lo, hi = payload["lo"], payload["hi"]
+        seg = payload["seg"]
+        overlap = self.overlap
+        trace = payload["trace"]
+        stream = payload.get("stream")
+        inline = tracer is not None
+        wsink = None
+        if trace and not inline:
+            from repro.observe.trace import Tracer
+
+            if stream is not None:
+                from repro.observe.stream import open_worker_sink
+
+                wsink = open_worker_sink(stream)
+                tracer = Tracer(sinks=[wsink], retain=False)
+            else:
+                tracer = Tracer()
+        starts = np.asarray(payload["starts"], dtype=np.float64)
+        scale = np.asarray(payload["scale"], dtype=np.float64)
+        comm = payload["comm"]
+        sent_comm = comm is None
+        if comm is None:
+            comm = self._comm_slice(lo, hi)
+        launch_cost = grayscott_launch_cost(self.local_shape, settings.backend)
+        # the same float product VirtualGcd.kernel(scale) plans per rank
+        kernel = launch_cost.seconds * scale
+        out_prev = seg["out_prev"]
+        writes = None
+        if out_prev is not None:
+            nnodes = self.placement.nnodes
+            if self.placement.strategy == "block":
+                rpn = self.placement.ranks_per_node
+                leader_ranks = np.arange(lo, hi, rpn, dtype=np.int64)
+                nodes = leader_ranks // rpn
+            else:
+                by_node: dict[int, int] = {}
+                for r in range(hi - 1, lo - 1, -1):
+                    by_node[self.placement.location(r).node] = r
+                nodes = np.array(sorted(by_node), dtype=np.int64)
+                leader_ranks = np.array(
+                    [by_node[int(n)] for n in nodes], dtype=np.int64
+                )
+            lustre = LustreModel(self.machine, seed=settings.seed)
+            bytes_per_node = self._bytes_per_node()
+            seconds = np.array([
+                lustre.write_seconds_per_node(
+                    nnodes, bytes_per_node, sample=f"{out_prev}:{int(node)}"
+                )
+                for node in nodes
+            ])
+            writes = EpochWrites(
+                index=leader_ranks - lo, nodes=nodes, seconds=seconds,
+                output_step=out_prev,
+            )
+        spec = EpochSpec(
+            ranks=np.arange(lo, hi, dtype=np.int64),
+            starts=starts,
+            kernel=kernel,
+            comm=comm,
+            nsteps=max(0, seg["step_hi"] - seg["step_lo"] + 1),
+            overlap=overlap,
+            jit_seconds=(
+                jit_compile_seconds(settings.backend) if seg["do_jit"] else 0.0
+            ),
+            writes=writes,
+            final=seg["final"],
+        )
+        queue = EpochEventQueue() if trace else None
+        result = simulate_epoch(spec, queue=queue)
+        if queue is not None:
+            emit_epoch_spans(
+                queue, tracer,
+                kernel_name=launch_cost.kernel_name,
+                backend=get_backend(settings.backend).name,
+            )
+        ends: dict[int, float] = {}
+        if overlap and writes is not None and result.write_ends is not None:
+            ends = {
+                int(node): float(end)
+                for node, end in zip(writes.nodes, result.write_ends)
+            }
+        return {
+            "arrivals": result.arrivals,
+            "write_ends": ends,
+            "comm": comm if sent_comm else None,
+            "spans": (
+                list(tracer.spans)
+                if trace and not inline and wsink is None else None
+            ),
+            "shards": wsink.finish() if wsink is not None else None,
+            "events": result.events,
+        }
 
     def _simulate_segment(self, payload: dict) -> dict:
         """Simulate one epoch of one shard (runs inside a pool worker)."""
@@ -486,7 +691,7 @@ class VirtualWorkflow:
         # engine's gauge label after the merge
         engine = Engine(
             name=f"virtual[{nranks}]", tracer=tracer, mirror=trace,
-            events_gauge=False,
+            events_gauge=False, pop=payload.get("pop", "batch"),
         )
         starts = payload["starts"]
         scale = payload["scale"]
@@ -585,4 +790,6 @@ def _virtual_segment_task(payload: dict) -> dict:
         overlap=payload["overlap"],
         machine=payload["machine"],
     )
+    if payload.get("vector"):
+        return wf._vector_segment(payload)
     return wf._simulate_segment(payload)

@@ -158,10 +158,25 @@ def validate_chrome_trace(obj) -> list[str]:
     the two clock domains.
     """
     if isinstance(obj, (str, Path)):
-        from repro.observe.stream import is_shard_source, merge_shards
+        from repro.observe.stream import (
+            VALIDATE_STREAM_THRESHOLD,
+            is_shard_source,
+            load_manifest,
+            merge_shards,
+            validate_shard_stream,
+        )
 
         target = Path(obj)
         if is_shard_source(target):
+            if target.suffix != ".jsonl":
+                # million-span shard directories are schema-checked by
+                # streaming instead of materializing the merged trace
+                try:
+                    declared = int(load_manifest(target).get("spans", 0))
+                except ObserveError as exc:
+                    return [str(exc)]
+                if declared > VALIDATE_STREAM_THRESHOLD:
+                    return validate_shard_stream(target)
             try:
                 obj = merge_shards(target)
             except ObserveError as exc:

@@ -172,6 +172,30 @@ class ShardedPerfettoWriter(TraceSink):
             if len(self._buffer) >= self.flush_threshold:
                 self._flush_buffer()
 
+    def record_many(self, spans: list[SpanRecord]) -> None:
+        """Bulk :meth:`record` — one lock hold for a whole span batch.
+
+        Fed by :meth:`Tracer.add_spans` (the vector engine tier emits
+        epochs as batches). The batch is folded into the buffer in
+        flush-threshold slices so shard rotation and the buffered
+        high-water mark behave exactly as per-span recording.
+        """
+        with self._lock:
+            if self.closed:
+                raise ObserveError(
+                    f"span recorded on closed stream {self.target}"
+                )
+            threshold = self.flush_threshold
+            pos = 0
+            while pos < len(spans):
+                take = threshold - len(self._buffer)
+                self._buffer.extend(spans[pos:pos + take])
+                pos += take
+                if len(self._buffer) > self.max_buffered:
+                    self.max_buffered = len(self._buffer)
+                if len(self._buffer) >= threshold:
+                    self._flush_buffer()
+
     def flush(self) -> None:
         with self._lock:
             self._flush_buffer()
@@ -417,6 +441,79 @@ def write_merged(source, out) -> Path:
     # with the monolithic exporter depends on it
     target.write_text(json.dumps(merge_shards(source), indent=1))
     return target
+
+
+#: above this many manifest spans, :func:`repro.observe.export.
+#: validate_chrome_trace` streams the shards instead of merging them
+VALIDATE_STREAM_THRESHOLD = 1_000_000
+
+#: stop a streaming validation after this many problems
+_MAX_STREAM_PROBLEMS = 50
+
+
+def validate_shard_stream(source) -> list[str]:
+    """Schema-check streamed shards without materializing the trace.
+
+    The bounded-memory complement of :func:`repro.observe.export.
+    validate_chrome_trace` for million-span shard directories: every
+    line must decode to a full span record, durations must be
+    nonnegative, clock domains must be known and never mixed within a
+    lane, and the shard span counts must add up to the manifest's
+    total. Per-lane timestamp monotonicity needs no separate check
+    here — the merged exporter sorts each lane by start time, so any
+    stream with valid timestamps merges to a monotonic trace.
+    """
+    from repro.observe.trace import _CLOCKS
+
+    target = Path(source)
+    problems: list[str] = []
+    expected = None
+    if target.suffix != ".jsonl":
+        try:
+            expected = int(load_manifest(target).get("spans", 0))
+        except ObserveError as exc:
+            return [str(exc)]
+    lane_clocks: dict[tuple[str, str], str] = {}
+    count = 0
+    truncated = False
+    try:
+        for kwargs in iter_span_records(target):
+            count += 1
+            clock = kwargs["clock"]
+            if clock not in _CLOCKS:
+                problems.append(
+                    f"span {count} ({kwargs.get('name')!r}) has unknown "
+                    f"clock {clock!r}"
+                )
+            if not isinstance(kwargs["start"], (int, float)):
+                problems.append(f"span {count} missing numeric 'start'")
+            seconds = kwargs["seconds"]
+            if kwargs["ph"] == "X" and (
+                not isinstance(seconds, (int, float)) or seconds < 0
+            ):
+                problems.append(
+                    f"span {count} ({kwargs.get('name')!r}) missing "
+                    "nonnegative 'seconds'"
+                )
+            lane = (kwargs["process"], kwargs["thread"])
+            known = lane_clocks.setdefault(lane, clock)
+            if known != clock:
+                problems.append(
+                    f"lane {lane} mixes clock domains "
+                    f"({known!r} and {clock!r})"
+                )
+            if len(problems) >= _MAX_STREAM_PROBLEMS:
+                problems.append("... (validation truncated)")
+                truncated = True
+                break
+    except ObserveError as exc:
+        problems.append(str(exc))
+        truncated = True
+    if expected is not None and not truncated and count != expected:
+        problems.append(
+            f"manifest declares {expected} spans but shards hold {count}"
+        )
+    return problems
 
 
 def tail_spans(source, n: int = 20) -> list[dict]:

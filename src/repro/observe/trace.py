@@ -202,6 +202,50 @@ class Tracer:
                 sink.record(record)
         return record
 
+    def add_spans(self, records: list[SpanRecord]) -> int:
+        """Record a batch of prebuilt :class:`SpanRecord` entries.
+
+        The bulk path of the vector engine tier (:mod:`repro.sched.
+        vector`): one lock acquisition for the whole batch, the same
+        per-record validation :meth:`add_span` performs, and a single
+        ``record_many`` call into every sink that implements it
+        (falling back to per-record ``record`` otherwise).
+        """
+        records = list(records)
+        if not records:
+            return 0
+        for record in records:
+            if record.clock not in _CLOCKS:
+                raise ObserveError(
+                    f"unknown clock domain {record.clock!r}; use {_CLOCKS}"
+                )
+            if record.seconds < 0:
+                raise ObserveError(
+                    f"span {record.name!r} has negative duration "
+                    f"{record.seconds}"
+                )
+        with self._lock:
+            setdefault = self._lane_clocks.setdefault
+            for record in records:
+                known = setdefault(record.lane, record.clock)
+                if known != record.clock:
+                    raise ObserveError(
+                        f"lane {record.lane} carries {known!r}-clock spans; "
+                        f"refusing to add {record.clock!r}-clock span "
+                        f"{record.name!r} (one lane, one clock domain)"
+                    )
+            if self.retain:
+                self.spans.extend(records)
+            for sink in self.sinks:
+                record_many = getattr(sink, "record_many", None)
+                if record_many is not None:
+                    record_many(records)
+                else:
+                    record_one = sink.record
+                    for record in records:
+                        record_one(record)
+        return len(records)
+
     def instant(
         self,
         name: str,

@@ -80,6 +80,10 @@ def _worker_main(worker_id, fn, task_q, result_q, capture, jit_cache=None):
             chunk = task_q.get()
             if chunk is None:
                 break
+            # outbound chunks are shm-encoded by the parent: million-rank
+            # shard payloads (starts/scale/comm vectors) ride segments,
+            # not the task pipe
+            chunk = shm.decode(chunk)
             out = []
             for index, task in chunk:
                 try:
@@ -148,7 +152,7 @@ def _run_pool(fn, task_list, jobs, chunksize, context, tracer):
     result_q = ctx.Queue()
     indexed = list(enumerate(task_list))
     for start in range(0, len(indexed), chunksize):
-        task_q.put(indexed[start:start + chunksize])
+        task_q.put(shm.encode(indexed[start:start + chunksize]))
     for _ in range(jobs):
         task_q.put(None)
 
@@ -189,6 +193,7 @@ def _run_pool(fn, task_list, jobs, chunksize, context, tracer):
     except BaseException:
         for encoded in results.values():
             shm.discard(encoded)
+        _drain_tasks(task_q)
         raise
     finally:
         for proc in workers:
@@ -199,6 +204,7 @@ def _run_pool(fn, task_list, jobs, chunksize, context, tracer):
     if failures:
         for encoded in results.values():
             shm.discard(encoded)
+        _drain_tasks(task_q)
         failures.sort()
         index, tb = failures[0]
         more = f" (+{len(failures) - 1} more)" if len(failures) > 1 else ""
@@ -206,6 +212,23 @@ def _run_pool(fn, task_list, jobs, chunksize, context, tracer):
             f"task {index} raised in a worker{more}:\n{tb.rstrip()}"
         )
     return [shm.decode(results[i]) for i in range(len(task_list))]
+
+
+def _drain_tasks(task_q) -> None:
+    """Discard undelivered task chunks — and their shm segments.
+
+    On an abandoned run (worker death, interrupt, task failure) chunks
+    still sitting on the task queue hold shared-memory segments no
+    worker will ever decode; unlink them so a failed million-rank run
+    cannot leak /dev/shm.
+    """
+    while True:
+        try:
+            chunk = task_q.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            return
+        if chunk is not None:
+            shm.discard(chunk)
 
 
 def _check_workers_alive(workers, done) -> None:

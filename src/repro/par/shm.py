@@ -75,7 +75,19 @@ def share_array(arr: np.ndarray) -> ShmRef:
     finally:
         seg.close()
     _unregister(seg.name)
+    _count_segment(contig.nbytes)
     return ref
+
+
+def _count_segment(nbytes: int) -> None:
+    """Mirror segment traffic into the observe registry when tracing."""
+    from repro.observe import trace as observe
+
+    tracer = observe.active()
+    if tracer is None:
+        return
+    tracer.metrics.counter("par.shm_segments").inc()
+    tracer.metrics.counter("par.shm_bytes").inc(nbytes)
 
 
 def fetch_array(ref: ShmRef, *, copy: bool = True) -> np.ndarray:

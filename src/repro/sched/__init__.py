@@ -24,6 +24,14 @@ from repro.sched.engine import (
     use,
 )
 from repro.sched.profiler import SimProfiler, collapse_label
+from repro.sched.vector import (
+    EpochEventQueue,
+    EpochResult,
+    EpochSpec,
+    EpochWrites,
+    emit_epoch_spans,
+    simulate_epoch,
+)
 from repro.sched.vspmd import (
     VirtualComm,
     VirtualJob,
@@ -31,6 +39,7 @@ from repro.sched.vspmd import (
     VspmdResult,
     record_ops,
     record_plan,
+    replay_allreduce,
     run_virtual_spmd,
 )
 
@@ -39,6 +48,10 @@ __all__ = [
     "Barrier",
     "Delay",
     "Engine",
+    "EpochEventQueue",
+    "EpochResult",
+    "EpochSpec",
+    "EpochWrites",
     "Join",
     "Process",
     "Release",
@@ -49,7 +62,9 @@ __all__ = [
     "Wait",
     "collapse_label",
     "delay",
+    "emit_epoch_spans",
     "series",
+    "simulate_epoch",
     "use",
     "VirtualComm",
     "VirtualJob",
@@ -57,5 +72,6 @@ __all__ = [
     "VspmdResult",
     "record_ops",
     "record_plan",
+    "replay_allreduce",
     "run_virtual_spmd",
 ]

@@ -95,12 +95,22 @@ class SimProfiler:
     def _sample(self, engine) -> None:
         self.samples_taken += 1
         stacks = self.stacks
+        finished = 0
+        live = 0
         for process in engine._processes:
             if process.finished:
+                finished += 1
                 continue
+            live += 1
             desc = process._blocked_desc() or "running"
             key = (self._fold(process.name), self._fold(desc))
             stacks[key] = stacks.get(key, 0) + 1
+        # keep sampling O(live processes): at 262k ranks the table is
+        # dominated by finished halo/write frames between the engine's
+        # own compaction thresholds — compact eagerly once dead frames
+        # outnumber the ranks we actually sample
+        if finished > live:
+            engine.compact_finished()
 
     # -- output -------------------------------------------------------------
     def folded(self) -> list[str]:

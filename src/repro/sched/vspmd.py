@@ -43,6 +43,22 @@ REDUCE_OPS: dict[str, Callable] = {
 }
 
 
+def replay_allreduce(values, op: str = "sum"):
+    """Reduce rank-ordered contributions off the engine.
+
+    The sharded and vector execution tiers never run the final
+    allreduce as engine events; the parent replays it with the exact
+    fold :meth:`VirtualComm.allreduce` performs — the same operator
+    from :data:`REDUCE_OPS` applied to the contributions in rank order
+    — so the replayed result is bit-identical to the collective's.
+    """
+    if op not in REDUCE_OPS:
+        raise SchedError(
+            f"unknown reduction {op!r}; supported: {sorted(REDUCE_OPS)}"
+        )
+    return REDUCE_OPS[op]([float(v) for v in values])
+
+
 @dataclass(frozen=True)
 class VirtualOp:
     """One entry of a rank's communication op log (program order)."""

@@ -23,7 +23,7 @@ from repro.bench.perfsuite import (
 
 CASE_NAMES = {
     "cache_sweep", "jit_trace_memo", "pack_unpack",
-    "io_bp5", "par_speedup", "sched_engine", "trace_streaming",
+    "io_bp5", "par_speedup", "sched_engine", "vspmd", "trace_streaming",
     "ir_passes", "serve_load", "jit_warm",
 }
 
@@ -76,6 +76,22 @@ class TestSchema:
         (sched,) = [c for c in payload["cases"] if c["name"] == "sched_engine"]
         assert sched["metrics"]["normalized_rate"] > 0
         assert sched["metrics"]["events_per_second"] > 0
+
+    def test_vspmd_case_reports_rate_floor_contract(self, payload):
+        from repro.bench.perfsuite import MIN_RATE_SPEEDUP
+
+        (case,) = [c for c in payload["cases"] if c["name"] == "vspmd"]
+        m = case["metrics"]
+        assert m["virtual_ranks"] > 0
+        assert m["events"] > 0
+        assert m["reference_events"] > 0
+        assert m["events_per_second"] > 0
+        assert m["normalized_rate"] > 0
+        # the tier contract: the vector engine clears the absolute floor
+        assert m["rate_speedup"] >= MIN_RATE_SPEEDUP
+        assert m["min_rate_speedup"] == MIN_RATE_SPEEDUP
+        # epoch queues replay the same model bit-for-bit
+        assert case["identical"] is True
 
     def test_ir_passes_case_reduction_ratios(self, payload):
         (case,) = [c for c in payload["cases"] if c["name"] == "ir_passes"]
@@ -218,6 +234,16 @@ class TestGate:
         assert any("warm first-launch" in f for f in failures)
         # absolute limit: survives the baseline derate, names the 5x bar
         assert any("5x faster" in f for f in failures)
+
+    def test_vspmd_rate_gated_absolutely(self, payload):
+        doctored = copy.deepcopy(payload)
+        for case in doctored["cases"]:
+            if case["name"] == "vspmd":
+                case["metrics"]["rate_speedup"] = 2.0
+        failures = check_regressions(doctored, to_baseline(payload))
+        assert any("vector-tier event rate" in f for f in failures)
+        # absolute limit: survives the baseline derate, names the 5x bar
+        assert any("5.0x floor" in f for f in failures)
 
     def test_rejects_wrong_schema(self, payload):
         doctored = copy.deepcopy(payload)

@@ -66,6 +66,25 @@ class TestHaloExchangeModel:
             cost.pack_seconds + cost.transfer_seconds + cost.d2h_h2d_seconds
         )
 
+    @pytest.mark.parametrize("periodic", [True, False])
+    @pytest.mark.parametrize("gpu_aware", [True, False])
+    def test_slice_bitwise_matches_scalar_loop(self, periodic, gpu_aware):
+        model = HaloExchangeModel(
+            Placement(128), (8, 4, 4), (64, 64, 64),
+            periodic=periodic, gpu_aware=gpu_aware,
+        )
+        vector = model.slice_step_seconds(0, 128)
+        scalar = np.array(
+            [model.rank_step_seconds(r).total_seconds for r in range(128)]
+        )
+        assert (vector == scalar).all()  # bitwise, not approx
+
+    def test_slice_subrange_and_empty(self):
+        model = HaloExchangeModel(Placement(64), (4, 4, 4), (64, 64, 64))
+        full = model.slice_step_seconds(0, 64)
+        assert (model.slice_step_seconds(16, 48) == full[16:48]).all()
+        assert model.slice_step_seconds(5, 5).size == 0
+
 
 class TestNoiseSigma:
     def test_flat_until_onset(self):
@@ -113,6 +132,60 @@ class TestWeakScalingModel:
 
     def test_nodes_accounting(self, points):
         assert [p.nnodes for p in points] == [1, 1, 8, 64, 512]
+
+
+class TestSampleCapTruncation:
+    """Satellite: the 65,536-rank sample cap no longer truncates silently."""
+
+    def _open_bc_halo(self, nranks):
+        # non-periodic boundaries make the sampled prefix (corner-heavy)
+        # visibly cheaper than the full range — the skew the check must
+        # catch; the periodic production domain is homogeneous and
+        # stays warning-free (tested below)
+        from repro.mpi.cart import dims_create
+
+        return HaloExchangeModel(
+            Placement(nranks), dims_create(nranks, 3), (64, 64, 64),
+            periodic=False,
+        )
+
+    def test_truncation_that_shifts_the_mean_warns(self):
+        model = WeakScalingModel(sample_cap=8)
+        halo = self._open_bc_halo(128)
+        comm = halo.slice_step_seconds(0, 8)
+        with pytest.warns(RuntimeWarning, match="sample_cap=8 truncates"):
+            model._check_truncation(halo, comm, 128)
+
+    def test_truncation_counter_reaches_registry(self):
+        from repro.observe import trace as observe
+
+        model = WeakScalingModel(sample_cap=8)
+        halo = self._open_bc_halo(128)
+        comm = halo.slice_step_seconds(0, 8)
+        tracer = observe.activate(observe.Tracer())
+        try:
+            with pytest.warns(RuntimeWarning):
+                model._check_truncation(halo, comm, 128)
+        finally:
+            observe.deactivate()
+        counter = tracer.metrics.counter(
+            "netmodel.sample_truncations", model="fig6"
+        )
+        assert counter.value == 1
+
+    def test_periodic_ladder_point_is_warning_free(self):
+        import warnings
+
+        model = WeakScalingModel(sample_cap=64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            point = model.run_point(512)
+        assert point.nranks == 512
+        assert point.rank_seconds.size == 64  # still capped
+
+    def test_sample_cap_none_samples_every_rank(self):
+        point = WeakScalingModel(sample_cap=None).run_point(512)
+        assert point.rank_seconds.size == 512
 
 
 class TestGhostExchangeFailureModel:

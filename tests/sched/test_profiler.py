@@ -84,6 +84,27 @@ class TestEngineHook:
             with pytest.raises(SchedError, match="interval"):
                 SimProfiler(interval=bad)
 
+    def test_sampling_compacts_finished_frames(self):
+        # per-rank overhead stays O(live): once finished frames
+        # outnumber live ones, a sample triggers engine compaction so
+        # the next walk skips the dead bulk instead of re-testing it
+        profiler = SimProfiler(interval=1.0)
+        engine = Engine(mirror=False, profiler=profiler)
+        for i in range(100):
+            engine.spawn(f"short{i}", (Delay(0.5) for _ in (0,)))
+        engine.spawn("long", (Delay(10.0) for _ in (0,)))
+        assert len(engine._processes) == 101
+        engine.run()
+        # every sample lands after the 100 short frames finished; the
+        # first one compacts the table down to the single live process
+        assert len(engine._processes) <= 2
+        total = sum(
+            count
+            for (name, _), count in profiler.stacks.items()
+            if name == "short*"
+        )
+        assert total == 0  # finished frames never sampled
+
 
 class TestCollapse:
     def test_collapse_label_folds_digit_runs(self):
